@@ -1,0 +1,322 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (§V). Each benchmark regenerates its experiment on a
+// reduced instruction budget and reports the headline quantity via
+// b.ReportMetric, printing the full table through b.Log on the first run.
+//
+// Budgets are intentionally small so `go test -bench=.` finishes in
+// minutes; use cmd/teaexp for full-budget reproductions, and set
+// TEASIM_BENCH_N to override the per-run instruction budget.
+package teasim_test
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"teasim/tea"
+)
+
+// benchBudget returns the per-run instruction budget for benchmarks.
+func benchBudget(def uint64) uint64 {
+	if v := os.Getenv("TEASIM_BENCH_N"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func opts(n uint64) tea.ExpOptions {
+	return tea.ExpOptions{MaxInstructions: n, Scale: 1}
+}
+
+// BenchmarkFig5TEASpeedup regenerates Fig. 5: per-benchmark speedup of the
+// on-core TEA thread (paper geomean +10.1%). Reported metric: geomean
+// speedup percentage.
+func BenchmarkFig5TEASpeedup(b *testing.B) {
+	n := benchBudget(150_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Fig5(opts(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sp []float64
+		for _, r := range rows {
+			sp = append(sp, r.Speedup)
+		}
+		g := tea.Geomean(sp)
+		b.ReportMetric(100*(g-1), "geomean-speedup-%")
+		if i == 0 {
+			var sb strings.Builder
+			tea.PrintSpeedups(&sb, "Fig 5 (reduced budget)", rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkFig6MPKI regenerates Fig. 6: baseline branch MPKI. Reported
+// metric: mean MPKI across the suite.
+func BenchmarkFig6MPKI(b *testing.B) {
+	n := benchBudget(150_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Fig6(opts(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.MPKI
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-MPKI")
+		if i == 0 {
+			var sb strings.Builder
+			tea.PrintFig6(&sb, rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkFig7Coverage regenerates Fig. 7: the covered/late/incorrect/
+// uncovered breakdown (paper: ~76% coverage). Reported metric: mean
+// coverage percentage.
+func BenchmarkFig7Coverage(b *testing.B) {
+	n := benchBudget(150_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Fig7(opts(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.Coverage
+		}
+		b.ReportMetric(100*sum/float64(len(rows)), "mean-coverage-%")
+		if i == 0 {
+			var sb strings.Builder
+			tea.PrintFig7(&sb, rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkFig8VsRunahead regenerates Fig. 8: TEA vs Branch Runahead
+// (paper: 10.1% vs 7.3%). Reported metrics: both geomeans.
+func BenchmarkFig8VsRunahead(b *testing.B) {
+	n := benchBudget(150_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Fig8(opts(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var teaSp, brSp []float64
+		for _, r := range rows {
+			teaSp = append(teaSp, r.TEA)
+			brSp = append(brSp, r.Runahead)
+		}
+		b.ReportMetric(100*(tea.Geomean(teaSp)-1), "tea-geomean-%")
+		b.ReportMetric(100*(tea.Geomean(brSp)-1), "runahead-geomean-%")
+		if i == 0 {
+			var sb strings.Builder
+			tea.PrintFig8(&sb, rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkFig9DedicatedEngine regenerates Fig. 9: TEA on a dedicated
+// execution engine (paper: +12.3%). Reported metric: geomean speedup.
+func BenchmarkFig9DedicatedEngine(b *testing.B) {
+	n := benchBudget(150_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Fig9(opts(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sp []float64
+		for _, r := range rows {
+			sp = append(sp, r.Speedup)
+		}
+		b.ReportMetric(100*(tea.Geomean(sp)-1), "geomean-speedup-%")
+		if i == 0 {
+			var sb strings.Builder
+			tea.PrintSpeedups(&sb, "Fig 9 (reduced budget)", rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkFig10Ablations regenerates Fig. 10: accuracy / coverage /
+// timeliness across the five thread-construction configurations. Reported
+// metric: full-TEA mean accuracy percentage.
+func BenchmarkFig10Ablations(b *testing.B) {
+	n := benchBudget(80_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Fig10(opts(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var accSum float64
+		var cnt int
+		for _, r := range rows {
+			if r.Config == "tea" {
+				accSum += r.Accuracy
+				cnt++
+			}
+		}
+		b.ReportMetric(100*accSum/float64(cnt), "tea-mean-accuracy-%")
+		if i == 0 {
+			var sb strings.Builder
+			tea.PrintFig10(&sb, rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkTable3Footprint regenerates Table III: the TEA thread's extra
+// dynamic uop footprint (paper average +31.9%). Reported metric: mean
+// overhead percentage.
+func BenchmarkTable3Footprint(b *testing.B) {
+	n := benchBudget(150_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Table3(opts(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.UopOverheadPct
+		}
+		b.ReportMetric(sum/float64(len(rows)), "mean-overhead-%")
+		if i == 0 {
+			var sb strings.Builder
+			tea.PrintTable3(&sb, rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkPrefetchOnly regenerates the §V-B aside: early resolution off,
+// measuring the TEA thread's residual prefetching effect (paper: +1.2%).
+func BenchmarkPrefetchOnly(b *testing.B) {
+	n := benchBudget(150_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.PrefetchOnly(opts(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sp []float64
+		for _, r := range rows {
+			sp = append(sp, r.Speedup)
+		}
+		b.ReportMetric(100*(tea.Geomean(sp)-1), "geomean-speedup-%")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (instructions
+// per second) on a representative workload — a harness health metric, not a
+// paper figure.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	n := benchBudget(200_000)
+	for i := 0; i < b.N; i++ {
+		res, err := tea.Run("mcf", tea.Config{Mode: tea.ModeTEA, MaxInstructions: n, Scale: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Instructions), "instructions")
+	}
+}
+
+// BenchmarkAblationBlockCache sweeps the Block Cache capacity (§IV-B: the
+// paper reports deepsjeng/omnetpp gain ~5% from more entries, and added the
+// empty-block tag store to stretch capacity). Uses the two capacity-bound
+// workloads the paper names.
+func BenchmarkAblationBlockCache(b *testing.B) {
+	n := benchBudget(120_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Sensitivity(tea.SensBlockCache, []int{128, 512, 2048},
+			tea.ExpOptions{MaxInstructions: n, Scale: 1,
+				Workloads: []string{"deepsjeng", "omnetpp"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			tea.PrintSensitivity(&sb, tea.SensBlockCache, rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkAblationFillBuffer sweeps the Fill Buffer size (§IV-C: the paper
+// reports ~1% sensitivity because bit-masks let chains grow across walks).
+func BenchmarkAblationFillBuffer(b *testing.B) {
+	n := benchBudget(120_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Sensitivity(tea.SensFillBuffer, []int{128, 512, 1024},
+			tea.ExpOptions{MaxInstructions: n, Scale: 1,
+				Workloads: []string{"mcf", "bfs", "tc"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			tea.PrintSensitivity(&sb, tea.SensFillBuffer, rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkAblationLead sweeps the shadow-fetch-queue depth (DESIGN.md §7:
+// short leads maximize surviving precomputation under frequent flushes).
+func BenchmarkAblationLead(b *testing.B) {
+	n := benchBudget(120_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Sensitivity(tea.SensLead, []int{1, 2, 8},
+			tea.ExpOptions{MaxInstructions: n, Scale: 1,
+				Workloads: []string{"bfs", "xz"}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			tea.PrintSensitivity(&sb, tea.SensLead, rows)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkFig9BigEngine regenerates §V-D's second data point: the TEA
+// thread on a main-core-sized execution engine (paper: +12.8%).
+func BenchmarkFig9BigEngine(b *testing.B) {
+	n := benchBudget(150_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Fig9Big(opts(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sp []float64
+		for _, r := range rows {
+			sp = append(sp, r.Speedup)
+		}
+		b.ReportMetric(100*(tea.Geomean(sp)-1), "geomean-speedup-%")
+	}
+}
+
+// BenchmarkWide16 regenerates §IV-H's comparison: a 16-wide frontend
+// without precomputation barely helps because the branch predictor still
+// delivers one taken branch per cycle (paper: ~+2.8%).
+func BenchmarkWide16(b *testing.B) {
+	n := benchBudget(150_000)
+	for i := 0; i < b.N; i++ {
+		rows, err := tea.Wide16(opts(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sp []float64
+		for _, r := range rows {
+			sp = append(sp, r.Speedup)
+		}
+		b.ReportMetric(100*(tea.Geomean(sp)-1), "geomean-speedup-%")
+	}
+}

@@ -1,0 +1,151 @@
+// Command teaexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	teaexp -exp fig5                # TEA speedup per benchmark
+//	teaexp -exp fig8 -n 500000      # TEA vs Branch Runahead, 500k instrs each
+//	teaexp -exp all                 # every experiment (slow)
+//
+// Experiments: fig5 fig6 fig7 fig8 fig9 fig10 table3 prefetchonly tables all,
+// plus sensitivity sweeps: sens-blockcache, sens-fillbuffer, sens-h2pdecay,
+// sens-lead, sens-fetchqueue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"teasim/tea"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "fig5", "experiment id (fig5..fig10, table3, prefetchonly, tables, all)")
+		n     = flag.Uint64("n", 1_000_000, "max instructions per run")
+		scale = flag.Int("scale", 1, "workload input scale")
+		wl    = flag.String("w", "", "comma-separated workload subset (default all)")
+	)
+	flag.Parse()
+
+	opts := tea.ExpOptions{MaxInstructions: *n, Scale: *scale}
+	if *wl != "" {
+		opts.Workloads = strings.Split(*wl, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"tables", "fig5", "fig6", "fig7", "fig8", "fig9", "fig9big", "fig10", "table3", "prefetchonly", "wide16"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := runExp(id, opts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Second))
+	}
+}
+
+func runExp(id string, opts tea.ExpOptions) error {
+	switch id {
+	case "tables":
+		printConfigTables()
+		return nil
+	case "fig5":
+		rows, err := tea.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintSpeedups(os.Stdout, "Fig 5: TEA thread speedup over baseline (paper geomean +10.1%)", rows)
+	case "fig6":
+		rows, err := tea.Fig6(opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintFig6(os.Stdout, rows)
+	case "fig7":
+		rows, err := tea.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintFig7(os.Stdout, rows)
+	case "fig8":
+		rows, err := tea.Fig8(opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintFig8(os.Stdout, rows)
+	case "fig9":
+		rows, err := tea.Fig9(opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintSpeedups(os.Stdout, "Fig 9: TEA on a dedicated execution engine (paper geomean +12.3%)", rows)
+	case "fig9big":
+		rows, err := tea.Fig9Big(opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintSpeedups(os.Stdout, "§V-D: TEA on a main-core-sized engine (paper geomean +12.8%)", rows)
+	case "wide16":
+		rows, err := tea.Wide16(opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintSpeedups(os.Stdout, "§IV-H: 16-wide frontend, no precomputation (paper ~+2.8%)", rows)
+	case "fig10":
+		rows, err := tea.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintFig10(os.Stdout, rows)
+	case "table3":
+		rows, err := tea.Table3(opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintTable3(os.Stdout, rows)
+	case "prefetchonly":
+		rows, err := tea.PrefetchOnly(opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintSpeedups(os.Stdout, "§V-B aside: early resolution disabled (prefetch effect only; paper +1.2%)", rows)
+	case "sens-blockcache", "sens-fillbuffer", "sens-h2pdecay", "sens-lead", "sens-fetchqueue":
+		p := tea.SensParam(strings.TrimPrefix(id, "sens-"))
+		rows, err := tea.Sensitivity(p, nil, opts)
+		if err != nil {
+			return err
+		}
+		tea.PrintSensitivity(os.Stdout, p, rows)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func printConfigTables() {
+	fmt.Print(`Table I (baseline core, as modelled):
+  3.2GHz, 8-wide fetch/decode/rename/issue, 12-cycle frontend
+  512-entry ROB, 352-entry RS, 16-wide retire
+  12 execution ports (6 ALU, 2 LD, 2 LD/ST, 2 FP), 400 physical registers
+  256-entry load queue, 192-entry store queue
+  64KB-class TAGE-SC-L (12 tables, loop predictor, statistical corrector)
+  history-based indirect predictor, RAS, 4k-entry BTB, 128-entry fetch queue
+  L1I 32KB/8w 4cyc, L1D 48KB/12w 4cyc, LLC 1MB/16w 18cyc, 64B lines
+  DDR4-2400R: 2 channels, 4 bank groups x 4 banks, tRP-tCL-tRCD 16-16-16
+
+Table II (TEA thread structures, as modelled):
+  H2P table: 256 entries, 8-way, 3-bit counters, decay every 50k instrs
+  Fill Buffer: 512 uops; Backward Dataflow Walk: ~500 cycles
+  Source List: register bit-vector + 16 memory addresses
+  Block Cache: 512 entries (+256 empty-block tags), 32-bit masks,
+    mask reset every 500k instrs, 8 uops/cycle fetch
+  TEA frontend: 9-cycle latency, shadow RAT, shadow fetch queue
+  Backend partition: 192 RS + 192 physical registers while active
+  Store data cache: 16 half-lines (32B); late limit: 4
+`)
+}

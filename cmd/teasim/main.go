@@ -1,0 +1,96 @@
+// Command teasim runs one benchmark on the simulated core and prints its
+// performance and precomputation statistics.
+//
+// Usage:
+//
+//	teasim -w bfs -mode tea -n 1000000
+//	teasim -w mcf -mode baseline
+//	teasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"teasim/tea"
+)
+
+func main() {
+	var (
+		workload = flag.String("w", "bfs", "workload name (see -list)")
+		mode     = flag.String("mode", "tea", "baseline | tea | tea-dedicated | runahead")
+		n        = flag.Uint64("n", 1_000_000, "max instructions to simulate (0 = to completion)")
+		scale    = flag.Int("scale", 1, "workload input scale (0 = tiny)")
+		cosim    = flag.Bool("cosim", false, "verify against the golden functional model")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		onlyLoop = flag.Bool("onlyloops", false, "ablation: loop-confined chains")
+		noMasks  = flag.Bool("nomasks", false, "ablation: no mask combining")
+		noMem    = flag.Bool("nomem", false, "ablation: no memory dependencies")
+		noFlush  = flag.Bool("noflush", false, "ablation: disable early flushes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range tea.Workloads() {
+			flow := "complex"
+			if tea.SimpleFlow(name) {
+				flow = "simple"
+			}
+			fmt.Printf("%-12s %s control flow\n", name, flow)
+		}
+		return
+	}
+
+	var m tea.Mode
+	switch strings.ToLower(*mode) {
+	case "baseline":
+		m = tea.ModeBaseline
+	case "tea":
+		m = tea.ModeTEA
+	case "tea-dedicated", "dedicated":
+		m = tea.ModeTEADedicated
+	case "runahead", "br":
+		m = tea.ModeBranchRunahead
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	cfg := tea.Config{
+		Mode:              m,
+		MaxInstructions:   *n,
+		Scale:             *scale,
+		CoSim:             *cosim,
+		OnlyLoops:         *onlyLoop,
+		NoMasks:           *noMasks,
+		NoMem:             *noMem,
+		DisableEarlyFlush: *noFlush,
+	}
+	start := time.Now()
+	res, err := tea.Run(*workload, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	el := time.Since(start)
+
+	fmt.Printf("workload      %s (%s)\n", res.Workload, res.Mode)
+	fmt.Printf("instructions  %d\n", res.Instructions)
+	fmt.Printf("cycles        %d\n", res.Cycles)
+	fmt.Printf("IPC           %.3f\n", res.IPC)
+	fmt.Printf("MPKI          %.2f (cond %d, target %d)\n", res.MPKI,
+		res.CondMispredicts, res.IndMispredicts)
+	if m != tea.ModeBaseline {
+		fmt.Printf("accuracy      %.2f%%\n", 100*res.Accuracy)
+		fmt.Printf("coverage      %.1f%% (covered %d, late %d, incorrect %d, uncovered %d)\n",
+			100*res.Coverage, res.Covered, res.Late, res.Incorrect, res.Uncovered)
+		fmt.Printf("saved/branch  %.1f cycles\n", res.AvgCyclesSaved)
+		fmt.Printf("early flushes %d\n", res.EarlyFlushes)
+		fmt.Printf("uop overhead  +%.1f%%\n", res.UopOverheadPct)
+	}
+	fmt.Printf("sim wall time %v (%.2f Minstr/s)\n", el.Round(time.Millisecond),
+		float64(res.Instructions)/el.Seconds()/1e6)
+}

@@ -1,0 +1,10 @@
+// Package teasim is a from-scratch Go reproduction of "Timely, Efficient,
+// and Accurate Branch Precomputation" (Deshmukh, Cai, Patt — MICRO 2024).
+//
+// The public API lives in teasim/tea; the simulator substrates (µISA,
+// assembler, golden-model emulator, branch predictors, cache/DRAM models,
+// the out-of-order core, the TEA thread itself, and the Branch Runahead
+// baseline) live under internal/. See README.md for a tour, DESIGN.md for
+// the system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results.
+package teasim

@@ -1,0 +1,51 @@
+// gapbfs: a deep-dive on the paper's motivating workload class — graph
+// kernels whose data-dependent branches defeat history-based prediction.
+// Runs BFS under all four modes (baseline, TEA on-core, TEA with a
+// dedicated engine, Branch Runahead) and prints a comparison table, then
+// shows how the picture changes on a second graph kernel with heavier
+// chains (tc).
+//
+//	go run ./examples/gapbfs
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"teasim/tea"
+)
+
+func main() {
+	const budget = 300_000
+	modes := []tea.Mode{
+		tea.ModeBaseline, tea.ModeTEA, tea.ModeTEADedicated, tea.ModeBranchRunahead,
+	}
+
+	for _, workload := range []string{"bfs", "tc"} {
+		fmt.Printf("== %s (simple control flow: %v) ==\n", workload, tea.SimpleFlow(workload))
+		var baseCycles uint64
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "mode\tcycles\tspeedup\tMPKI\tcoverage\taccuracy")
+		for _, m := range modes {
+			res, err := tea.Run(workload, tea.Config{Mode: m, MaxInstructions: budget, Scale: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if m == tea.ModeBaseline {
+				baseCycles = res.Cycles
+			}
+			speedup := float64(baseCycles)/float64(res.Cycles) - 1
+			fmt.Fprintf(tw, "%s\t%d\t%+.1f%%\t%.1f\t%.0f%%\t%.1f%%\n",
+				m, res.Cycles, 100*speedup, res.MPKI, 100*res.Coverage, 100*res.Accuracy)
+		}
+		tw.Flush()
+		fmt.Println()
+	}
+
+	fmt.Println("The visited-vertex check in BFS (\"if dist[v] == INF\") is the")
+	fmt.Println("canonical hard-to-predict branch: its outcome depends on graph")
+	fmt.Println("data, not control history, so TAGE cannot learn it — but its")
+	fmt.Println("dependence chain (load, compare) is short enough to precompute.")
+}

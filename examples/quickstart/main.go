@@ -1,0 +1,46 @@
+// Quickstart: run one benchmark on the baseline core and with the TEA
+// thread, and print the speedup and precomputation quality — the library's
+// two-line "hello world".
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"teasim/tea"
+)
+
+func main() {
+	const workload = "bfs"
+	const budget = 300_000 // instructions to simulate
+
+	base, err := tea.Run(workload, tea.Config{
+		Mode:            tea.ModeBaseline,
+		MaxInstructions: budget,
+		Scale:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	with, err := tea.Run(workload, tea.Config{
+		Mode:            tea.ModeTEA,
+		MaxInstructions: budget,
+		Scale:           1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%d instructions)\n", workload, base.Instructions)
+	fmt.Printf("baseline: %8d cycles  (IPC %.2f, MPKI %.1f)\n",
+		base.Cycles, base.IPC, base.MPKI)
+	fmt.Printf("TEA:      %8d cycles  (IPC %.2f)\n", with.Cycles, with.IPC)
+	fmt.Printf("speedup:  %+.1f%%\n", 100*(float64(base.Cycles)/float64(with.Cycles)-1))
+	fmt.Printf("TEA thread: %.1f%% accuracy, %.0f%% misprediction coverage, "+
+		"%.1f cycles saved per covered branch\n",
+		100*with.Accuracy, 100*with.Coverage, with.AvgCyclesSaved)
+	fmt.Printf("            %d early flushes, +%.0f%% dynamic uop footprint\n",
+		with.EarlyFlushes, with.UopOverheadPct)
+}

@@ -1,0 +1,34 @@
+// tracing: dumps a cycle-annotated event trace of a short window of
+// execution — retirements, mispredictions, and the TEA thread's early
+// flushes — showing the timestamp-synchronized flush mechanism in action.
+//
+//	go run ./examples/tracing | head -60
+package main
+
+import (
+	"log"
+	"os"
+
+	"teasim/internal/core"
+	"teasim/internal/pipeline"
+	"teasim/internal/workloads"
+)
+
+func main() {
+	w, _ := workloads.ByName("bfs")
+	prog := w.Build(1)
+
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxInstructions = 120_000
+	cfg.MaxCycles = 50_000_000
+	// Trace a window after warm-up: the H2P table, Block Cache, and TEA
+	// thread are all live by then.
+	cfg.TraceW = os.Stdout
+	cfg.TraceStart, cfg.TraceEnd = 60_000, 60_400
+
+	c := pipeline.New(cfg, prog)
+	core.New(core.DefaultConfig(), c)
+	if err := c.Run(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module teasim
+
+go 1.22

@@ -1,0 +1,410 @@
+// Package asm provides a small builder DSL for writing µISA programs in Go.
+// Labels are resolved to absolute code addresses at Build time; branch and
+// jump immediates hold absolute targets.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"teasim/internal/isa"
+)
+
+// DefaultCodeBase is where code is placed unless overridden.
+const DefaultCodeBase = 0x10000
+
+// Builder assembles a program instruction by instruction.
+type Builder struct {
+	codeBase uint64
+	code     []isa.Inst
+	labels   map[string]int // label -> instruction index
+	fixups   map[int]string // instruction index -> label (Imm patch)
+	data     []isa.DataSeg
+	errs     []error
+}
+
+// NewBuilder returns a Builder placing code at DefaultCodeBase.
+func NewBuilder() *Builder {
+	return &Builder{
+		codeBase: DefaultCodeBase,
+		labels:   make(map[string]int),
+		fixups:   make(map[int]string),
+	}
+}
+
+// SetCodeBase overrides the code base address. Must be called before any
+// instruction is emitted.
+func (b *Builder) SetCodeBase(addr uint64) {
+	if len(b.code) > 0 {
+		b.errs = append(b.errs, fmt.Errorf("asm: SetCodeBase after code emitted"))
+		return
+	}
+	b.codeBase = addr
+}
+
+// PC returns the address of the next instruction to be emitted.
+func (b *Builder) PC() uint64 {
+	return b.codeBase + uint64(len(b.code))*isa.InstBytes
+}
+
+// Label defines name at the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("asm: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.code)
+}
+
+func (b *Builder) emit(in isa.Inst) { b.code = append(b.code, in) }
+
+// Emit appends a raw instruction. Escape hatch for tests and generators that
+// need an opcode without a dedicated helper.
+func (b *Builder) Emit(in isa.Inst) { b.emit(in) }
+
+// BranchOp emits a conditional branch with an explicit opcode.
+func (b *Builder) BranchOp(op isa.Op, rs1, rs2 isa.Reg, label string) {
+	b.branch(op, rs1, rs2, label)
+}
+
+func (b *Builder) emitLabelled(in isa.Inst, label string) {
+	b.fixups[len(b.code)] = label
+	b.emit(in)
+}
+
+// --- ALU ---
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpAdd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpSub, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpAnd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpOr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpXor, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Shl emits rd = rs1 << (rs2 & 63).
+func (b *Builder) Shl(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpShl, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Shr emits rd = rs1 >> (rs2 & 63) (logical).
+func (b *Builder) Shr(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpShr, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Sar emits rd = rs1 >> (rs2 & 63) (arithmetic).
+func (b *Builder) Sar(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpSar, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Mul emits rd = rs1 * rs2 (low 64 bits).
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpMul, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Div emits rd = rs1 / rs2 (signed; division by zero yields 0).
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpDiv, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Rem emits rd = rs1 % rs2 (signed; modulo by zero yields rs1).
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpRem, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Slt emits rd = (rs1 <s rs2) ? 1 : 0.
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpSlt, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Sltu emits rd = (rs1 <u rs2) ? 1 : 0.
+func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpSltu, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Min emits rd = min(rs1, rs2) (signed).
+func (b *Builder) Min(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpMin, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Max emits rd = max(rs1, rs2) (signed).
+func (b *Builder) Max(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpMax, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// --- ALU immediate ---
+
+// AddI emits rd = rs1 + imm.
+func (b *Builder) AddI(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpAddI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// AndI emits rd = rs1 & imm.
+func (b *Builder) AndI(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpAndI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// OrI emits rd = rs1 | imm.
+func (b *Builder) OrI(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpOrI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// XorI emits rd = rs1 ^ imm.
+func (b *Builder) XorI(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpXorI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// ShlI emits rd = rs1 << (imm & 63).
+func (b *Builder) ShlI(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpShlI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// ShrI emits rd = rs1 >> (imm & 63) (logical).
+func (b *Builder) ShrI(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpShrI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// MulI emits rd = rs1 * imm.
+func (b *Builder) MulI(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpMulI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// SltI emits rd = (rs1 <s imm) ? 1 : 0.
+func (b *Builder) SltI(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpSltI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// SltuI emits rd = (rs1 <u imm) ? 1 : 0.
+func (b *Builder) SltuI(rd, rs1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpSltuI, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Li emits rd = imm.
+func (b *Builder) Li(rd isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OpLi, Rd: rd, Imm: imm})
+}
+
+// LiU emits rd = imm for an unsigned 64-bit immediate (e.g. an address).
+func (b *Builder) LiU(rd isa.Reg, imm uint64) { b.Li(rd, int64(imm)) }
+
+// LiLabel emits rd = address-of(label), resolved at Build time.
+func (b *Builder) LiLabel(rd isa.Reg, label string) {
+	b.emitLabelled(isa.Inst{Op: isa.OpLi, Rd: rd}, label)
+}
+
+// Mov emits rd = rs (as OR with R0).
+func (b *Builder) Mov(rd, rs isa.Reg) { b.Or(rd, rs, isa.R0) }
+
+// --- FP ---
+
+// FAdd emits rd = f(rs1) + f(rs2).
+func (b *Builder) FAdd(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFAdd, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// FSub emits rd = f(rs1) - f(rs2).
+func (b *Builder) FSub(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFSub, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// FMul emits rd = f(rs1) * f(rs2).
+func (b *Builder) FMul(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFMul, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// FDiv emits rd = f(rs1) / f(rs2).
+func (b *Builder) FDiv(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFDiv, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// FLt emits rd = (f(rs1) < f(rs2)) ? 1 : 0.
+func (b *Builder) FLt(rd, rs1, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpFLt, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// FCvt emits rd = float64(int64(rs1)) as float bits.
+func (b *Builder) FCvt(rd, rs1 isa.Reg) { b.emit(isa.Inst{Op: isa.OpFCvt, Rd: rd, Rs1: rs1}) }
+
+// FInt emits rd = int64(f(rs1)).
+func (b *Builder) FInt(rd, rs1 isa.Reg) { b.emit(isa.Inst{Op: isa.OpFInt, Rd: rd, Rs1: rs1}) }
+
+// --- memory ---
+
+// Ld emits rd = mem64[rs1 + off].
+func (b *Builder) Ld(rd, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.OpLd, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// Ld4 emits rd = zext(mem32[rs1 + off]).
+func (b *Builder) Ld4(rd, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.OpLd4, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// Ld1 emits rd = zext(mem8[rs1 + off]).
+func (b *Builder) Ld1(rd, rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.OpLd1, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// St emits mem64[rs1 + off] = rs2.
+func (b *Builder) St(rs1 isa.Reg, off int64, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpSt, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// St4 emits mem32[rs1 + off] = rs2.
+func (b *Builder) St4(rs1 isa.Reg, off int64, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpSt4, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// St1 emits mem8[rs1 + off] = rs2.
+func (b *Builder) St1(rs1 isa.Reg, off int64, rs2 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpSt1, Rs1: rs1, Rs2: rs2, Imm: off})
+}
+
+// --- control flow ---
+
+func (b *Builder) branch(op isa.Op, rs1, rs2 isa.Reg, label string) {
+	b.emitLabelled(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Beq branches to label if rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBeq, rs1, rs2, label) }
+
+// Bne branches to label if rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBne, rs1, rs2, label) }
+
+// Blt branches to label if rs1 <s rs2.
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBlt, rs1, rs2, label) }
+
+// Bge branches to label if rs1 >=s rs2.
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBge, rs1, rs2, label) }
+
+// Bltu branches to label if rs1 <u rs2.
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBltu, rs1, rs2, label) }
+
+// Bgeu branches to label if rs1 >=u rs2.
+func (b *Builder) Bgeu(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBgeu, rs1, rs2, label) }
+
+// Beqz branches to label if rs1 == 0.
+func (b *Builder) Beqz(rs1 isa.Reg, label string) { b.Beq(rs1, isa.R0, label) }
+
+// Bnez branches to label if rs1 != 0.
+func (b *Builder) Bnez(rs1 isa.Reg, label string) { b.Bne(rs1, isa.R0, label) }
+
+// Jmp jumps unconditionally to label.
+func (b *Builder) Jmp(label string) { b.emitLabelled(isa.Inst{Op: isa.OpJmp}, label) }
+
+// Call calls label, writing the return address to LR.
+func (b *Builder) Call(label string) {
+	b.emitLabelled(isa.Inst{Op: isa.OpCall, Rd: isa.LR}, label)
+}
+
+// Ret returns via LR.
+func (b *Builder) Ret() { b.emit(isa.Inst{Op: isa.OpRet, Rs1: isa.LR}) }
+
+// Jr jumps to rs1 + off (indirect; e.g. computed switch targets).
+func (b *Builder) Jr(rs1 isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.OpJr, Rs1: rs1, Imm: off})
+}
+
+// CallR calls the address in rs1, writing the return address to LR.
+func (b *Builder) CallR(rs1 isa.Reg) {
+	b.emit(isa.Inst{Op: isa.OpCallR, Rd: isa.LR, Rs1: rs1})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(isa.Inst{Op: isa.OpNop}) }
+
+// Halt emits the end-of-program instruction.
+func (b *Builder) Halt() { b.emit(isa.Inst{Op: isa.OpHalt}) }
+
+// --- data ---
+
+// Data places raw bytes at addr in the initial memory image.
+func (b *Builder) Data(addr uint64, bytes []byte) {
+	b.data = append(b.data, isa.DataSeg{Addr: addr, Bytes: append([]byte(nil), bytes...)})
+}
+
+// DataU64 places a slice of 8-byte little-endian words at addr.
+func (b *Builder) DataU64(addr uint64, words []uint64) {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	b.data = append(b.data, isa.DataSeg{Addr: addr, Bytes: buf})
+}
+
+// DataU32 places a slice of 4-byte little-endian words at addr.
+func (b *Builder) DataU32(addr uint64, words []uint32) {
+	buf := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(buf[4*i:], w)
+	}
+	b.data = append(b.data, isa.DataSeg{Addr: addr, Bytes: buf})
+}
+
+// DataF64 places a slice of float64 values at addr.
+func (b *Builder) DataF64(addr uint64, vals []float64) {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	b.data = append(b.data, isa.DataSeg{Addr: addr, Bytes: buf})
+}
+
+// Build resolves labels and returns the finished program. The entry point is
+// the label "main" if defined, else the first instruction.
+func (b *Builder) Build() (*isa.Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	addrOf := func(idx int) uint64 { return b.codeBase + uint64(idx)*isa.InstBytes }
+	for idx, label := range b.fixups {
+		tgt, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q at instruction %d", label, idx)
+		}
+		b.code[idx].Imm = int64(addrOf(tgt))
+	}
+	labels := make(map[string]uint64, len(b.labels))
+	for name, idx := range b.labels {
+		labels[name] = addrOf(idx)
+	}
+	entry := b.codeBase
+	if main, ok := labels["main"]; ok {
+		entry = main
+	}
+	return &isa.Program{
+		Code:     append([]isa.Inst(nil), b.code...),
+		CodeBase: b.codeBase,
+		Entry:    entry,
+		Data:     b.data,
+		Labels:   labels,
+	}, nil
+}
+
+// MustBuild is Build that panics on error; for tests and static workloads.
+func (b *Builder) MustBuild() *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,124 @@
+package asm
+
+import (
+	"testing"
+
+	"teasim/internal/isa"
+)
+
+func TestLabelsResolveToAbsoluteTargets(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Li(isa.R1, 0) // idx 0
+	b.Label("loop") // idx 1
+	b.AddI(isa.R1, isa.R1, 1)
+	b.SltI(isa.R2, isa.R1, 10)
+	b.Bnez(isa.R2, "loop") // idx 3
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLoop := p.CodeBase + 1*isa.InstBytes
+	if p.Code[3].Imm != int64(wantLoop) {
+		t.Fatalf("branch target = %#x, want %#x", p.Code[3].Imm, wantLoop)
+	}
+	if p.Entry != p.CodeBase {
+		t.Fatalf("entry = %#x, want main at %#x", p.Entry, p.CodeBase)
+	}
+	if p.Labels["loop"] != wantLoop {
+		t.Fatalf("label map: %#x", p.Labels["loop"])
+	}
+}
+
+func TestForwardReference(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("end") // forward
+	b.Li(isa.R1, 1)
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Imm != int64(p.CodeBase+2*isa.InstBytes) {
+		t.Fatalf("forward jmp target = %#x", p.Code[0].Imm)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestLiLabel(t *testing.T) {
+	b := NewBuilder()
+	b.LiLabel(isa.R5, "table")
+	b.Halt()
+	b.Label("table")
+	b.Nop()
+	p := b.MustBuild()
+	if p.Code[0].Imm != int64(p.CodeBase+2*isa.InstBytes) {
+		t.Fatalf("LiLabel imm = %#x", p.Code[0].Imm)
+	}
+}
+
+func TestDataSegments(t *testing.T) {
+	b := NewBuilder()
+	b.Halt()
+	b.DataU64(0x20000, []uint64{1, 2, 3})
+	b.DataU32(0x30000, []uint32{7})
+	b.DataF64(0x40000, []float64{1.5})
+	p := b.MustBuild()
+	if len(p.Data) != 3 {
+		t.Fatalf("data segs = %d", len(p.Data))
+	}
+	if len(p.Data[0].Bytes) != 24 || p.Data[0].Bytes[8] != 2 {
+		t.Fatalf("u64 seg wrong: %v", p.Data[0].Bytes)
+	}
+	if len(p.Data[1].Bytes) != 4 || p.Data[1].Bytes[0] != 7 {
+		t.Fatalf("u32 seg wrong: %v", p.Data[1].Bytes)
+	}
+	if len(p.Data[2].Bytes) != 8 {
+		t.Fatalf("f64 seg wrong: %v", p.Data[2].Bytes)
+	}
+}
+
+func TestSetCodeBaseAfterEmitFails(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	b.SetCodeBase(0x9000)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for late SetCodeBase")
+	}
+}
+
+func TestCallRetShape(t *testing.T) {
+	b := NewBuilder()
+	b.Label("main")
+	b.Call("fn")
+	b.Halt()
+	b.Label("fn")
+	b.Ret()
+	p := b.MustBuild()
+	if p.Code[0].Op != isa.OpCall || p.Code[0].Rd != isa.LR {
+		t.Fatalf("call shape: %+v", p.Code[0])
+	}
+	if p.Code[2].Op != isa.OpRet || p.Code[2].Rs1 != isa.LR {
+		t.Fatalf("ret shape: %+v", p.Code[2])
+	}
+}

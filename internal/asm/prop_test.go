@@ -1,0 +1,254 @@
+package asm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"teasim/internal/emu"
+	"teasim/internal/isa"
+)
+
+// TestLabelResolutionProperty: for random programs with interleaved labels,
+// branches, and jumps, every resolved immediate is the absolute address of
+// its label, aligned and inside the code segment.
+func TestLabelResolutionProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%30
+		b := NewBuilder()
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = string(rune('A' + i%26))
+			if i >= 26 {
+				labels[i] += "x"
+			}
+		}
+		// First pass: define every label at a random point while emitting
+		// random branch/jump/ALU instructions referencing random labels.
+		type ref struct {
+			idx   int
+			label string
+		}
+		var refs []ref
+		for i := 0; i < n; i++ {
+			b.Label(labels[i])
+			switch rng.Intn(4) {
+			case 0:
+				refs = append(refs, ref{len(b.snapshotCode()), labels[rng.Intn(n)]})
+				b.Beq(isa.R1, isa.R2, refs[len(refs)-1].label)
+			case 1:
+				refs = append(refs, ref{len(b.snapshotCode()), labels[rng.Intn(n)]})
+				b.Jmp(refs[len(refs)-1].label)
+			case 2:
+				b.AddI(isa.R1, isa.R1, int64(rng.Intn(100)))
+			case 3:
+				refs = append(refs, ref{len(b.snapshotCode()), labels[rng.Intn(n)]})
+				b.LiLabel(isa.R3, refs[len(refs)-1].label)
+			}
+		}
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			return false
+		}
+		for _, r := range refs {
+			want, ok := p.Labels[r.label]
+			if !ok {
+				return false
+			}
+			if uint64(p.Code[r.idx].Imm) != want {
+				return false
+			}
+			if want < p.CodeBase || want >= p.CodeEnd() || (want-p.CodeBase)%isa.InstBytes != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotCode exposes the emitted-code slice for index bookkeeping in
+// the property above (test-only helper; the builder's code slice is private).
+func (b *Builder) snapshotCode() []isa.Inst { return b.code }
+
+// TestBuildCopiesCode: mutating the returned program must not alias the
+// builder, so a builder can keep emitting after Build.
+func TestBuildCopiesCode(t *testing.T) {
+	b := NewBuilder()
+	b.Li(isa.R1, 1)
+	b.Halt()
+	p1 := b.MustBuild()
+	p1.Code[0].Imm = 999
+	p2 := b.MustBuild()
+	if p2.Code[0].Imm == 999 {
+		t.Fatal("Build aliases internal code slice")
+	}
+}
+
+// TestDataCopiesInput: Data must snapshot the caller's bytes.
+func TestDataCopiesInput(t *testing.T) {
+	b := NewBuilder()
+	buf := []byte{1, 2, 3}
+	b.Data(0x2000, buf)
+	buf[0] = 99
+	b.Halt()
+	p := b.MustBuild()
+	if p.Data[0].Bytes[0] != 1 {
+		t.Fatal("Data aliased caller's slice")
+	}
+}
+
+// TestEntryResolution: entry is "main" when defined, else the code base.
+func TestEntryResolution(t *testing.T) {
+	b := NewBuilder()
+	b.Nop()
+	b.Label("main")
+	b.Halt()
+	p := b.MustBuild()
+	if p.Entry != p.CodeBase+isa.InstBytes {
+		t.Fatalf("entry %#x, want main at %#x", p.Entry, p.CodeBase+isa.InstBytes)
+	}
+
+	b2 := NewBuilder()
+	b2.Halt()
+	p2 := b2.MustBuild()
+	if p2.Entry != p2.CodeBase {
+		t.Fatalf("entry %#x, want code base %#x", p2.Entry, p2.CodeBase)
+	}
+}
+
+// TestDataEncodings: DataU32 and DataF64 round-trip through the emulator's
+// memory image with little-endian layout.
+func TestDataEncodings(t *testing.T) {
+	b := NewBuilder()
+	b.DataU32(0x3000, []uint32{0xdeadbeef, 1})
+	b.DataF64(0x4000, []float64{1.5, -2.25})
+	b.Halt()
+	m := emu.New(b.MustBuild())
+	if got := m.Mem.Read(0x3000, 4); got != 0xdeadbeef {
+		t.Fatalf("u32 = %#x", got)
+	}
+	if got := m.Mem.Read(0x3004, 4); got != 1 {
+		t.Fatalf("u32[1] = %#x", got)
+	}
+	if got := math.Float64frombits(m.Mem.ReadU64(0x4000)); got != 1.5 {
+		t.Fatalf("f64 = %v", got)
+	}
+	if got := math.Float64frombits(m.Mem.ReadU64(0x4008)); got != -2.25 {
+		t.Fatalf("f64[1] = %v", got)
+	}
+}
+
+// TestPCTracksEmission: PC advances by exactly InstBytes per emitted
+// instruction regardless of helper used.
+func TestPCTracksEmission(t *testing.T) {
+	b := NewBuilder()
+	start := b.PC()
+	b.Add(isa.R1, isa.R2, isa.R3)
+	b.Ld(isa.R1, isa.R2, 8)
+	b.St(isa.R2, 8, isa.R1)
+	b.Beqz(isa.R1, "x")
+	b.Label("x")
+	b.Halt()
+	if b.PC() != start+5*isa.InstBytes {
+		t.Fatalf("PC=%#x want %#x", b.PC(), start+5*isa.InstBytes)
+	}
+}
+
+// TestRandomALUDifferential is a differential property test across the whole
+// toolchain: a random straight-line ALU program is assembled, run on the
+// functional emulator, and compared against an independent re-implementation
+// of the operator semantics in this test.
+func TestRandomALUDifferential(t *testing.T) {
+	type aluOp struct {
+		op isa.Op
+		ev func(a, b int64) int64
+	}
+	ops := []aluOp{
+		{isa.OpAdd, func(a, b int64) int64 { return a + b }},
+		{isa.OpSub, func(a, b int64) int64 { return a - b }},
+		{isa.OpAnd, func(a, b int64) int64 { return a & b }},
+		{isa.OpOr, func(a, b int64) int64 { return a | b }},
+		{isa.OpXor, func(a, b int64) int64 { return a ^ b }},
+		{isa.OpMul, func(a, b int64) int64 { return a * b }},
+		{isa.OpShl, func(a, b int64) int64 { return int64(uint64(a) << (uint64(b) & 63)) }},
+		{isa.OpShr, func(a, b int64) int64 { return int64(uint64(a) >> (uint64(b) & 63)) }},
+		{isa.OpSar, func(a, b int64) int64 { return a >> (uint64(b) & 63) }},
+		{isa.OpSlt, func(a, b int64) int64 {
+			if a < b {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpSltu, func(a, b int64) int64 {
+			if uint64(a) < uint64(b) {
+				return 1
+			}
+			return 0
+		}},
+		{isa.OpMin, func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		}},
+		{isa.OpMax, func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		}},
+		{isa.OpDiv, func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		}},
+		{isa.OpRem, func(a, b int64) int64 {
+			if b == 0 {
+				return a
+			}
+			return a % b
+		}},
+	}
+	const resAddr = 0x80000
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		b := NewBuilder()
+		// Model register file r1..r8 (r0 stays zero in both worlds).
+		var model [9]int64
+		for r := 1; r <= 8; r++ {
+			model[r] = rng.Int63() - rng.Int63()
+			b.Li(isa.Reg(r), model[r])
+		}
+		for i := 0; i < 60; i++ {
+			o := ops[rng.Intn(len(ops))]
+			rd, r1, r2 := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+			b.Emit(isa.Inst{Op: o.op, Rd: isa.Reg(rd), Rs1: isa.Reg(r1), Rs2: isa.Reg(r2)})
+			model[rd] = o.ev(model[r1], model[r2])
+		}
+		for r := 1; r <= 8; r++ {
+			b.LiU(isa.R20, resAddr+uint64(r-1)*8)
+			b.St(isa.R20, 0, isa.Reg(r))
+		}
+		b.Halt()
+		m := emu.New(b.MustBuild())
+		if _, err := m.Run(10_000); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !m.Halted {
+			t.Fatalf("trial %d: did not halt", trial)
+		}
+		for r := 1; r <= 8; r++ {
+			got := int64(m.Mem.ReadU64(resAddr + uint64(r-1)*8))
+			if got != model[r] {
+				t.Fatalf("trial %d: r%d = %d, model says %d", trial, r, got, model[r])
+			}
+		}
+	}
+}

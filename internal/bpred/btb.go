@@ -1,0 +1,107 @@
+package bpred
+
+// BTB: 4k-entry, 4-way set-associative branch target buffer (Table I). The
+// decoupled branch predictor only "sees" branches that hit in the BTB; a
+// branch missing from the BTB is implicitly predicted not-taken and is
+// inserted when it resolves. The entry records the branch kind so the
+// predictor stack knows which component to consult.
+
+import "teasim/internal/isa"
+
+const (
+	btbEntries = 4096
+	btbWays    = 4
+	btbSets    = btbEntries / btbWays
+)
+
+// BranchKind classifies a branch for the prediction stack.
+type BranchKind uint8
+
+// Branch kinds stored in the BTB.
+const (
+	KindCond     BranchKind = iota
+	KindDirect              // jmp / call (always taken, static target)
+	KindIndirect            // jr / callr
+	KindReturn              // ret
+)
+
+// KindOf maps an instruction to its branch kind. Panics on non-branches.
+func KindOf(in *isa.Inst) BranchKind {
+	switch {
+	case in.IsCondBranch():
+		return KindCond
+	case in.IsReturn():
+		return KindReturn
+	case in.IsIndirect():
+		return KindIndirect
+	default:
+		return KindDirect
+	}
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint32
+	target uint64 // last-seen target (static for direct branches)
+	kind   BranchKind
+	isCall bool
+	lru    uint8
+}
+
+// BTB is the branch target buffer.
+type BTB struct {
+	sets [btbSets][btbWays]btbEntry
+}
+
+func btbIndex(pc uint64) (uint32, uint32) {
+	set := uint32(pc>>2) & (btbSets - 1)
+	tag := uint32(pc >> 12) // bits above the set index
+	return set, tag
+}
+
+// Lookup returns the entry for pc, if present.
+func (b *BTB) Lookup(pc uint64) (target uint64, kind BranchKind, isCall, ok bool) {
+	set, tag := btbIndex(pc)
+	for w := 0; w < btbWays; w++ {
+		e := &b.sets[set][w]
+		if e.valid && e.tag == tag {
+			b.touch(set, uint32(w))
+			return e.target, e.kind, e.isCall, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+// Insert records (or updates) a branch.
+func (b *BTB) Insert(pc, target uint64, kind BranchKind, isCall bool) {
+	set, tag := btbIndex(pc)
+	victim, oldest := 0, uint8(0)
+	for w := 0; w < btbWays; w++ {
+		e := &b.sets[set][w]
+		if e.valid && e.tag == tag {
+			e.target, e.kind, e.isCall = target, kind, isCall
+			b.touch(set, uint32(w))
+			return
+		}
+		if !e.valid {
+			victim = w
+			oldest = 255
+		} else if oldest != 255 && e.lru >= oldest {
+			victim, oldest = w, e.lru
+		}
+	}
+	b.sets[set][victim] = btbEntry{valid: true, tag: tag, target: target, kind: kind, isCall: isCall}
+	b.touch(set, uint32(victim))
+}
+
+// touch implements 2-bit pseudo-LRU aging: accessed way goes to 0, others age.
+func (b *BTB) touch(set, way uint32) {
+	for w := uint32(0); w < btbWays; w++ {
+		e := &b.sets[set][w]
+		if w == way {
+			e.lru = 0
+		} else if e.lru < 3 {
+			e.lru++
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package bpred implements the decoupled branch prediction stack used by the
+// baseline core (Table I of the paper): a TAGE-SC-L-class conditional
+// predictor (TAGE + loop predictor + statistical corrector), an ITTAGE-style
+// history-based indirect predictor, a 4k-entry BTB, and a return address
+// stack — all with per-branch checkpointing so any flush (normal, early TEA,
+// or memory-ordering) restores speculative predictor state exactly.
+package bpred
+
+// historyBits is the size of the circular global-history buffer. It must
+// exceed the longest folded history length plus the maximum number of
+// in-flight speculative branches, so that restoring a checkpoint never
+// resurrects an overwritten bit. The longest TAGE history is ~1270 bits and
+// the pipeline holds well under 1k speculative branches.
+const historyBits = 4096
+
+// folded is an incrementally maintained folded (compressed) history
+// register, as used by TAGE (Seznec). A history of origLen bits is folded
+// by XOR into compLen bits.
+type folded struct {
+	comp     uint32
+	compLen  uint32
+	origLen  uint32
+	outPoint uint32 // origLen % compLen
+}
+
+func newFolded(origLen, compLen uint32) folded {
+	return folded{compLen: compLen, origLen: origLen, outPoint: origLen % compLen}
+}
+
+// update shifts in newBit and removes oldBit (the bit that just moved past
+// origLen in the global history).
+func (f *folded) update(newBit, oldBit uint32) {
+	f.comp = (f.comp << 1) | newBit
+	f.comp ^= oldBit << f.outPoint
+	f.comp ^= f.comp >> f.compLen
+	f.comp &= (1 << f.compLen) - 1
+}
+
+// History is the speculative global branch history: a circular bit buffer
+// with registered folded views, plus a path-history register. All speculative
+// predictor state that must be rewound on a flush lives here (the RAS and
+// loop predictor keep their own small checkpoints).
+type History struct {
+	bits [historyBits / 64]uint64
+	ptr  uint32 // index where the NEXT bit will be written
+	path uint32 // path history (low PC bits of taken branches)
+
+	folds []folded
+}
+
+// RegisterFold adds a folded view of the most recent origLen history bits
+// compressed to compLen bits and returns its handle.
+func (h *History) RegisterFold(origLen, compLen uint32) int {
+	if len(h.folds) >= maxFolds {
+		panic("bpred: too many folded histories; raise maxFolds")
+	}
+	h.folds = append(h.folds, newFolded(origLen, compLen))
+	return len(h.folds) - 1
+}
+
+// Fold returns the current folded value of the registered view.
+func (h *History) Fold(i int) uint32 { return h.folds[i].comp }
+
+// Path returns the path-history register.
+func (h *History) Path() uint32 { return h.path }
+
+// bitAt returns history bit at distance i (0 = most recently pushed).
+func (h *History) bitAt(i uint32) uint32 {
+	pos := (h.ptr - 1 - i) & (historyBits - 1)
+	return uint32(h.bits[pos/64]>>(pos%64)) & 1
+}
+
+func (h *History) setBit(pos, b uint32) {
+	word, off := pos/64, pos%64
+	h.bits[word] = (h.bits[word] &^ (1 << off)) | (uint64(b) << off)
+}
+
+// Push records one speculative history bit and updates all folded views.
+func (h *History) Push(bit bool) {
+	var nb uint32
+	if bit {
+		nb = 1
+	}
+	h.setBit(h.ptr&(historyBits-1), nb)
+	h.ptr = (h.ptr + 1) & (historyBits - 1)
+	for i := range h.folds {
+		f := &h.folds[i]
+		ob := h.bitAt(f.origLen)
+		f.update(nb, ob)
+	}
+}
+
+// PushPath mixes low bits of a taken-branch PC into the path history.
+func (h *History) PushPath(pc uint64) {
+	h.path = (h.path<<1 | uint32(pc>>2)&1) & 0xffff
+}
+
+// maxFolds bounds the number of folded views so checkpoints are a fixed,
+// allocation-free array (48 covers TAGE 12×3 + ITTAGE 2×2 + SC 3).
+const maxFolds = 48
+
+// Checkpoint is a snapshot of the speculative history state taken just
+// before a branch's own update. It is small enough to store per in-flight
+// branch (the paper's in-flight branch queue plays the same role) and is a
+// plain value: no heap allocation per branch.
+type Checkpoint struct {
+	ptr   uint32
+	path  uint32
+	n     int32
+	comps [maxFolds]uint32
+}
+
+// Save captures the current history state. The checkpoint stays valid until
+// more than historyBits bits have been pushed past it.
+func (h *History) Save() Checkpoint {
+	c := Checkpoint{ptr: h.ptr, path: h.path, n: int32(len(h.folds))}
+	for i := range h.folds {
+		c.comps[i] = h.folds[i].comp
+	}
+	return c
+}
+
+// Restore rewinds the history to a previously saved checkpoint.
+func (h *History) Restore(c Checkpoint) {
+	h.ptr = c.ptr
+	h.path = c.path
+	for i := 0; i < int(c.n); i++ {
+		h.folds[i].comp = c.comps[i]
+	}
+}
+
+// NumFolds returns the number of registered folded views (for tests).
+func (h *History) NumFolds() int { return len(h.folds) }

@@ -1,0 +1,134 @@
+package bpred
+
+// Loop predictor: detects conditional branches with a constant trip count
+// and predicts the loop exit exactly, as the L component of TAGE-SC-L.
+// Entries track the trip count observed at retirement (pastIter) and a
+// speculative iteration counter advanced at prediction time. A flush
+// restores the speculative counter from the per-branch checkpoint value.
+
+const (
+	loopEntries = 128
+	loopTagBits = 10
+	loopConfMax = 3
+)
+
+type loopEntry struct {
+	tag      uint16
+	pastIter uint16 // confirmed trip count
+	specIter uint16 // speculative iteration (advance at predict)
+	retIter  uint16 // iteration counter advanced at retire
+	conf     uint8
+	age      uint8
+}
+
+type loopPred struct {
+	entries [loopEntries]loopEntry
+	// useLoop is a chooser: the loop prediction overrides TAGE only while
+	// it has been winning (as in TAGE-SC-L's WITHDRAW mechanism).
+	useLoop int8
+}
+
+// loopMinTrip is the smallest trip count worth predicting; shorter "loops"
+// are noise that TAGE handles better.
+const loopMinTrip = 4
+
+func loopIndex(pc uint64) (int, uint16) {
+	idx := int(pc>>2) & (loopEntries - 1)
+	tag := uint16(pc>>(2+7)) & (1<<loopTagBits - 1)
+	return idx, tag
+}
+
+// predict fills the loop context in ctx. A hit with high confidence predicts
+// "taken" until specIter reaches pastIter, then "not taken" (loop exit).
+// The convention assumes backward loop branches are taken to iterate.
+func (l *loopPred) predict(pc uint64, ctx *CondCtx) {
+	idx, tag := loopIndex(pc)
+	e := &l.entries[idx]
+	ctx.loopIdx = idx
+	if e.tag != tag || e.conf < loopConfMax || e.pastIter < loopMinTrip {
+		ctx.loopHit = false
+		return
+	}
+	ctx.loopHit = true
+	ctx.loopSpec = e.specIter
+	ctx.loopPred = e.specIter+1 < e.pastIter
+	if l.useLoop >= 0 {
+		ctx.Pred = ctx.loopPred
+	}
+	// Advance speculative iteration; wrap on predicted exit.
+	if e.specIter+1 >= e.pastIter {
+		e.specIter = 0
+	} else {
+		e.specIter++
+	}
+}
+
+// restore rewinds the speculative iteration counter for the entry used by a
+// flushed branch. Counters of other entries self-correct via confidence.
+func (l *loopPred) restore(ctx *CondCtx) {
+	if ctx.loopHit {
+		l.entries[ctx.loopIdx].specIter = ctx.loopSpec
+	}
+}
+
+// update trains the loop table at retirement.
+func (l *loopPred) update(ctx *CondCtx, taken bool) {
+	idx, tag := loopIndex(ctx.PC)
+	e := &l.entries[idx]
+	if e.tag != tag {
+		// Allocate when the current occupant has aged out.
+		if e.age > 0 {
+			e.age--
+			return
+		}
+		*e = loopEntry{tag: tag, age: 7}
+		if taken {
+			e.retIter = 1
+		}
+		return
+	}
+	if taken {
+		e.retIter++
+		if e.retIter == 0 { // overflow: not a countable loop
+			e.conf = 0
+			e.pastIter = 0
+		}
+		if ctx.loopHit && ctx.loopPred && e.age < 7 {
+			e.age++
+		}
+		return
+	}
+	// Loop exit: compare trip count with the recorded one.
+	trip := e.retIter + 1
+	if trip == e.pastIter {
+		if e.conf < loopConfMax {
+			e.conf++
+		}
+	} else {
+		e.pastIter = trip
+		e.conf = 0
+		e.specIter = 0
+	}
+	e.retIter = 0
+	// If the predictor was used and wrong, decay quickly.
+	if ctx.loopHit && ctx.loopPred != taken {
+		e.conf = 0
+		e.age = 0
+		e.specIter = 0
+	}
+}
+
+// train adjusts the loop-vs-TAGE chooser; call once per retired conditional
+// branch that had a confident loop prediction.
+func (l *loopPred) train(ctx *CondCtx, taken bool) {
+	if !ctx.loopHit || ctx.loopPred == ctx.TagePred {
+		return
+	}
+	if ctx.loopPred == taken {
+		if l.useLoop < 7 {
+			l.useLoop++
+		}
+	} else if l.useLoop > -8 {
+		l.useLoop -= 2
+	}
+}

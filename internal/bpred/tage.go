@@ -1,0 +1,259 @@
+package bpred
+
+// TAGE conditional branch predictor (Seznec-style): a bimodal base table
+// plus nTables partially tagged tables indexed with geometrically increasing
+// folded global histories. A small loop predictor and statistical corrector
+// (sc.go) sit on top, forming the TAGE-SC-L-class predictor from Table I.
+
+const (
+	nTables     = 12
+	baseBits    = 14 // 16K-entry bimodal
+	tableBits   = 10 // 1K entries per tagged table
+	ctrMax      = 3  // 3-bit signed counter in [-4, 3]
+	ctrMin      = -4
+	uMax        = 3
+	uResetEvery = 1 << 18 // graceful usefulness decay period (branches)
+)
+
+// geometric history lengths for the tagged tables.
+var histLens = [nTables]uint32{4, 8, 13, 22, 36, 60, 100, 167, 280, 468, 782, 1270}
+
+// tag widths per table (longer histories get wider tags).
+var tagBits = [nTables]uint32{8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 12, 12}
+
+type tageEntry struct {
+	ctr int8
+	tag uint16
+	u   uint8
+}
+
+type tageTable struct {
+	entries  []tageEntry
+	idxFold  int // History fold handles
+	tagFold  int
+	tagFold2 int
+	histLen  uint32
+	tagMask  uint16
+}
+
+// CondCtx carries the per-prediction state needed to train the conditional
+// predictor at retirement. It is stored in the pipeline's in-flight branch
+// queue alongside the history checkpoint.
+type CondCtx struct {
+	PC       uint64
+	Pred     bool // final prediction (after loop/SC)
+	TagePred bool
+	AltPred  bool
+	provider int8 // table index of provider, -1 = bimodal
+	altTable int8 // table index of altpred, -1 = bimodal
+	provIdx  uint32
+	altIdx   uint32
+	provTag  uint16
+	baseIdx  uint32
+	provPred bool // raw provider-counter prediction (before alt override)
+	weakProv bool
+	// tags/indices computed at prediction time for allocation on mispredict.
+	idx [nTables]uint32
+	tag [nTables]uint16
+	// loop predictor context
+	loopHit  bool
+	loopPred bool
+	loopIdx  int
+	loopSpec uint16
+	// statistical corrector context
+	scSum  int32
+	scUsed bool
+	scIdx  [scTables]uint32
+}
+
+type tage struct {
+	base   []int8 // bimodal counters, 2-bit in [-2,1]
+	tables [nTables]tageTable
+	hist   *History
+
+	useAltOnNA int8 // prefer altpred for newly allocated entries
+	branchTick uint64
+	allocSeed  uint32 // deterministic xorshift for allocation choice
+}
+
+func newTAGE(h *History) *tage {
+	t := &tage{base: make([]int8, 1<<baseBits), hist: h, allocSeed: 0x9e3779b9}
+	for i := 0; i < nTables; i++ {
+		tb := &t.tables[i]
+		tb.entries = make([]tageEntry, 1<<tableBits)
+		tb.histLen = histLens[i]
+		tb.tagMask = uint16(1<<tagBits[i] - 1)
+		tb.idxFold = h.RegisterFold(histLens[i], tableBits)
+		tb.tagFold = h.RegisterFold(histLens[i], tagBits[i])
+		tb.tagFold2 = h.RegisterFold(histLens[i], tagBits[i]-1)
+	}
+	return t
+}
+
+func (t *tage) rng() uint32 {
+	t.allocSeed ^= t.allocSeed << 13
+	t.allocSeed ^= t.allocSeed >> 17
+	t.allocSeed ^= t.allocSeed << 5
+	return t.allocSeed
+}
+
+func (t *tage) index(table int, pc uint64) uint32 {
+	tb := &t.tables[table]
+	h := uint32(pc>>2) ^ uint32(pc>>(2+tableBits)) ^ t.hist.Fold(tb.idxFold) ^
+		(t.hist.Path() & ((1 << min32(tb.histLen, 16)) - 1))
+	return h & (1<<tableBits - 1)
+}
+
+func (t *tage) tagOf(table int, pc uint64) uint16 {
+	tb := &t.tables[table]
+	return uint16(uint32(pc>>2)^t.hist.Fold(tb.tagFold)^(t.hist.Fold(tb.tagFold2)<<1)) & tb.tagMask
+}
+
+func (t *tage) baseIndex(pc uint64) uint32 {
+	return uint32(pc>>2) & (1<<baseBits - 1)
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// predict computes the TAGE component prediction and fills ctx.
+func (t *tage) predict(pc uint64, ctx *CondCtx) {
+	ctx.PC = pc
+	ctx.provider, ctx.altTable = -1, -1
+	ctx.baseIdx = t.baseIndex(pc)
+	basePred := t.base[ctx.baseIdx] >= 0
+
+	for i := 0; i < nTables; i++ {
+		ctx.idx[i] = t.index(i, pc)
+		ctx.tag[i] = t.tagOf(i, pc)
+	}
+	for i := nTables - 1; i >= 0; i-- {
+		e := &t.tables[i].entries[ctx.idx[i]]
+		if e.tag == ctx.tag[i] {
+			if ctx.provider < 0 {
+				ctx.provider = int8(i)
+				ctx.provIdx = ctx.idx[i]
+				ctx.provTag = ctx.tag[i]
+			} else if ctx.altTable < 0 {
+				ctx.altTable = int8(i)
+				ctx.altIdx = ctx.idx[i]
+				break
+			}
+		}
+	}
+
+	ctx.AltPred = basePred
+	if ctx.altTable >= 0 {
+		ctx.AltPred = t.tables[ctx.altTable].entries[ctx.altIdx].ctr >= 0
+	}
+	if ctx.provider >= 0 {
+		e := &t.tables[ctx.provider].entries[ctx.provIdx]
+		ctx.provPred = e.ctr >= 0
+		ctx.TagePred = ctx.provPred
+		// Newly allocated entries (weak ctr, low usefulness) may be less
+		// reliable than the alternate prediction.
+		ctx.weakProv = (e.ctr == 0 || e.ctr == -1) && e.u == 0
+		if ctx.weakProv && t.useAltOnNA >= 0 {
+			ctx.TagePred = ctx.AltPred
+		}
+	} else {
+		ctx.provPred = basePred
+		ctx.TagePred = basePred
+	}
+	ctx.Pred = ctx.TagePred
+}
+
+// update trains TAGE with the resolved outcome. Called at retirement with
+// the context captured at prediction time.
+func (t *tage) update(ctx *CondCtx, taken bool) {
+	t.branchTick++
+	if t.branchTick%uResetEvery == 0 {
+		for i := range t.tables {
+			for j := range t.tables[i].entries {
+				t.tables[i].entries[j].u >>= 1
+			}
+		}
+	}
+
+	correct := ctx.TagePred == taken
+	// useAltOnNA tracks whether alt beats a weak provider when they differ.
+	if ctx.provider >= 0 && ctx.weakProv && ctx.provPred != ctx.AltPred {
+		if ctx.provPred == taken && t.useAltOnNA > -8 {
+			t.useAltOnNA--
+		} else if ctx.provPred != taken && t.useAltOnNA < 7 {
+			t.useAltOnNA++
+		}
+	}
+
+	// Allocate on misprediction in a table with longer history.
+	if !correct && ctx.provider < int8(nTables-1) {
+		t.allocate(ctx, taken)
+	}
+
+	if ctx.provider >= 0 {
+		e := &t.tables[ctx.provider].entries[ctx.provIdx]
+		updateCtr(&e.ctr, taken, ctrMin, ctrMax)
+		// Usefulness: reward the provider when it beat the alternate.
+		if ctx.provPred != ctx.AltPred {
+			if ctx.provPred == taken && e.u < uMax {
+				e.u++
+			} else if ctx.provPred != taken && e.u > 0 {
+				e.u--
+			}
+		}
+		// Also train alt/base when the provider entry is weak.
+		if ctx.weakProv {
+			if ctx.altTable >= 0 {
+				updateCtr(&t.tables[ctx.altTable].entries[ctx.altIdx].ctr, taken, ctrMin, ctrMax)
+			} else {
+				updateBase(&t.base[ctx.baseIdx], taken)
+			}
+		}
+	} else {
+		updateBase(&t.base[ctx.baseIdx], taken)
+	}
+}
+
+// allocate tries to claim an entry in a table with longer history than the
+// provider, preferring entries with zero usefulness.
+func (t *tage) allocate(ctx *CondCtx, taken bool) {
+	start := int(ctx.provider) + 1
+	// Randomize the first candidate slightly (as in TAGE) to avoid ping-pong.
+	if start < nTables-1 && t.rng()&3 == 0 {
+		start++
+	}
+	allocated := 0
+	for i := start; i < nTables && allocated < 2; i++ {
+		e := &t.tables[i].entries[ctx.idx[i]]
+		if e.u == 0 {
+			e.tag = ctx.tag[i]
+			if taken {
+				e.ctr = 0
+			} else {
+				e.ctr = -1
+			}
+			e.u = 0
+			allocated++
+			i++ // skip adjacent table to spread allocations
+		} else if e.u > 0 && allocated == 0 {
+			// Decay usefulness so a future allocation can succeed.
+			e.u--
+		}
+	}
+}
+
+func updateCtr(c *int8, taken bool, lo, hi int8) {
+	if taken {
+		if *c < hi {
+			*c++
+		}
+	} else if *c > lo {
+		*c--
+	}
+}
+
+func updateBase(c *int8, taken bool) { updateCtr(c, taken, -2, 1) }

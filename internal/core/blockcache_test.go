@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockCacheMaskOR(t *testing.T) {
+	cfg := DefaultConfig()
+	bc := NewBlockCache(&cfg)
+	bc.Update(0x100, 4, 0b0001)
+	bc.Update(0x100, 4, 0b0100)
+	mask, count, hit := bc.Lookup(0x100)
+	if !hit || mask != 0b0101 || count != 4 {
+		t.Fatalf("OR merge: mask=%b count=%d hit=%v", mask, count, hit)
+	}
+}
+
+func TestBlockCacheNoMasksReplaces(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoMasks = true
+	bc := NewBlockCache(&cfg)
+	bc.Update(0x100, 4, 0b0001)
+	bc.Update(0x100, 4, 0b0100)
+	mask, _, hit := bc.Lookup(0x100)
+	if !hit || mask != 0b0100 {
+		t.Fatalf("replace mode: mask=%b hit=%v", mask, hit)
+	}
+}
+
+func TestBlockCacheEmptyTagStore(t *testing.T) {
+	cfg := DefaultConfig()
+	bc := NewBlockCache(&cfg)
+	bc.Update(0x200, 5, 0) // empty block → tag-only store
+	mask, count, hit := bc.Lookup(0x200)
+	if !hit || mask != 0 || count != 5 {
+		t.Fatalf("empty block: mask=%b count=%d hit=%v", mask, count, hit)
+	}
+	if bc.EmptyHits != 1 {
+		t.Fatalf("EmptyHits = %d", bc.EmptyHits)
+	}
+	// A later non-empty mask for the same PC lands in the data store and
+	// takes priority on lookup.
+	bc.Update(0x200, 5, 0b10)
+	mask, _, _ = bc.Lookup(0x200)
+	if mask != 0b10 {
+		t.Fatalf("data store should take priority: %b", mask)
+	}
+}
+
+func TestBlockCacheMiss(t *testing.T) {
+	cfg := DefaultConfig()
+	bc := NewBlockCache(&cfg)
+	if _, _, hit := bc.Lookup(0x300); hit {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestBlockCacheResetMasks(t *testing.T) {
+	cfg := DefaultConfig()
+	bc := NewBlockCache(&cfg)
+	bc.Update(0x100, 4, 0b1111)
+	bc.ResetMasks()
+	mask, _, hit := bc.Lookup(0x100)
+	if !hit {
+		t.Fatal("tags must survive a mask reset")
+	}
+	if mask != 0 {
+		t.Fatalf("mask not cleared: %b", mask)
+	}
+}
+
+func TestBlockCacheEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockCacheSets, cfg.BlockCacheWays = 1, 2
+	bc := NewBlockCache(&cfg)
+	bc.Update(0x100, 4, 1)
+	bc.Update(0x200, 4, 1)
+	bc.Lookup(0x200) // make 0x100 the LRU
+	bc.Update(0x300, 4, 1)
+	if _, _, hit := bc.Lookup(0x100); hit {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, _, hit := bc.Lookup(0x200); !hit {
+		t.Fatal("MRU entry evicted")
+	}
+}
+
+// Property: OR-combining is monotone — bits only accumulate until a reset.
+func TestBlockCacheMaskMonotoneProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	bc := NewBlockCache(&cfg)
+	var acc uint32
+	f := func(m uint32) bool {
+		bc.Update(0x400, 8, m)
+		acc |= m
+		got, _, hit := bc.Lookup(0x400)
+		return hit && got == acc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCacheRoundTrip(t *testing.T) {
+	sc := NewStoreCache(16)
+	sc.Write(0x1000, 0xDEADBEEF, 4)
+	v, ok := sc.Read(0x1000, 4)
+	if !ok || v != 0xDEADBEEF {
+		t.Fatalf("read = %#x ok=%v", v, ok)
+	}
+	// Partial coverage falls through.
+	if _, ok := sc.Read(0x1000, 8); ok {
+		t.Fatal("partially covered read must miss")
+	}
+	// Byte-level patch.
+	sc.Write(0x1002, 0xAA, 1)
+	v, ok = sc.Read(0x1000, 4)
+	if !ok || v != 0xDEAABEEF {
+		t.Fatalf("patched read = %#x ok=%v", v, ok)
+	}
+}
+
+func TestStoreCacheCrossLine(t *testing.T) {
+	sc := NewStoreCache(16)
+	addr := uint64(halfLine - 4) // straddles two half-lines
+	sc.Write(addr, 0x1122334455667788, 8)
+	v, ok := sc.Read(addr, 8)
+	if !ok || v != 0x1122334455667788 {
+		t.Fatalf("cross-line read = %#x ok=%v", v, ok)
+	}
+}
+
+func TestStoreCacheEvictionLosesData(t *testing.T) {
+	sc := NewStoreCache(2)
+	sc.Write(0x0, 1, 8)
+	sc.Write(0x100, 2, 8)
+	sc.Write(0x200, 3, 8) // evicts line 0x0
+	if _, ok := sc.Read(0x0, 8); ok {
+		t.Fatal("evicted line still readable")
+	}
+	if v, ok := sc.Read(0x200, 8); !ok || v != 3 {
+		t.Fatal("newest line lost")
+	}
+}
+
+func TestStoreCacheReset(t *testing.T) {
+	sc := NewStoreCache(4)
+	sc.Write(0x40, 7, 8)
+	sc.Reset()
+	if _, ok := sc.Read(0x40, 8); ok {
+		t.Fatal("data survived reset")
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"teasim/internal/asm"
+	"teasim/internal/isa"
+	"teasim/internal/pipeline"
+)
+
+// buildCallKernel reproduces §III-D's scenario: the H2P branch lives inside
+// a function body and its input arrives through memory (a stack slot), so
+// accurate precomputation requires tracing the store→load pair across the
+// call. Without memory dependencies in the walk, the chain misses the
+// producer of the stored value.
+func buildCallKernel(b *asm.Builder, n int, data []uint64) {
+	const base = 0x200000
+	b.DataU64(base, data)
+	b.Label("main")
+	b.LiU(isa.SP, 0x800000)
+	b.LiU(isa.R1, base)
+	b.Li(isa.R2, int64(n))
+	b.Li(isa.R3, 0)  // i
+	b.Li(isa.R10, 0) // accepted
+	b.Li(isa.R11, 50)
+	b.Label("loop")
+	idxReg := isa.R4
+	b.ShlI(idxReg, isa.R3, 3)
+	b.Add(idxReg, isa.R1, idxReg)
+	b.Ld(isa.R5, idxReg, 0) // x = data[i]
+	// Pass x to the function through the stack (memory dependence).
+	b.AddI(isa.SP, isa.SP, -16)
+	b.St(isa.SP, 0, isa.R5)
+	b.St(isa.SP, 8, isa.LR)
+	b.Call("f")
+	b.Ld(isa.LR, isa.SP, 8)
+	b.AddI(isa.SP, isa.SP, 16)
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R2, "loop")
+	b.Halt()
+
+	b.Label("f")
+	b.Ld(isa.R6, isa.SP, 0)        // y = arg (memory)
+	b.Blt(isa.R6, isa.R11, "take") // H2P: data-dependent inside the callee
+	b.Ret()
+	b.Label("take")
+	b.AddI(isa.R10, isa.R10, 1)
+	b.Ret()
+}
+
+func runCallKernel(t *testing.T, mod func(*Config)) (*pipeline.Core, *TEA) {
+	t.Helper()
+	n := 20000
+	data := randData(n, 4242)
+	b := asm.NewBuilder()
+	buildCallKernel(b, n, data)
+	p := b.MustBuild()
+	cfg := pipeline.DefaultConfig()
+	cfg.CoSim = true
+	cfg.MaxCycles = 30_000_000
+	c := pipeline.New(cfg, p)
+	tcfg := DefaultConfig()
+	if mod != nil {
+		mod(&tcfg)
+	}
+	tea := New(tcfg, c)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c, tea
+}
+
+// TestMemoryDependenceFeature: with memory dependencies traced, the chain
+// crosses the call (store→load through the stack) and the callee's H2P
+// branch is covered accurately; the NoMem ablation must do measurably
+// worse on this kernel (§III-D, Fig. 10's "no mem" bar).
+func TestMemoryDependenceFeature(t *testing.T) {
+	_, full := runCallKernel(t, nil)
+	_, nomem := runCallKernel(t, func(c *Config) { c.NoMem = true })
+
+	fullCov := full.Stats.Coverage()
+	nomemCov := nomem.Stats.Coverage()
+	t.Logf("coverage with mem deps = %.2f (acc %.3f), without = %.2f (acc %.3f)",
+		fullCov, full.Stats.Accuracy(), nomemCov, nomem.Stats.Accuracy())
+	if fullCov < 0.30 {
+		t.Fatalf("call-kernel coverage too low with memory deps: %.2f", fullCov)
+	}
+	if nomemCov >= fullCov {
+		t.Fatalf("NoMem coverage (%.2f) should be below full TEA (%.2f) on the call kernel",
+			nomemCov, fullCov)
+	}
+}
+
+// TestStoreCacheUsedAcrossCall: the TEA thread's own store (the stack push)
+// must forward to its own load (the callee's argument read) through the
+// store data cache (§IV-E).
+func TestStoreCacheUsedAcrossCall(t *testing.T) {
+	_, tea := runCallKernel(t, nil)
+	if tea.Store.Writes == 0 {
+		t.Fatal("TEA stores never reached the store data cache")
+	}
+	if tea.Store.Hits == 0 {
+		t.Fatal("TEA loads never forwarded from the store data cache")
+	}
+}
+
+// TestPoisoningFiresOnIncompleteChains: with NoMasks the Block Cache keeps
+// only the latest control flow's mask, so the sometimes-executed writer of
+// r7 is often missing from the fetched chain. RAT poisoning (§IV-G) must
+// notice: the unmasked writer poisons r7, and the chain-marked consumer
+// reading it flags the violation.
+func TestPoisoningFiresOnIncompleteChains(t *testing.T) {
+	n := 20000
+	data := randData(n, 99)
+	b := asm.NewBuilder()
+	// The branch input is laundered through r7, which a non-chain
+	// instruction overwrites on the taken path — chains captured from the
+	// not-taken flow poison on the taken flow.
+	const base = 0x200000
+	b.DataU64(base, data)
+	b.Label("main")
+	b.LiU(isa.R1, base)
+	b.Li(isa.R2, int64(n))
+	b.Li(isa.R3, 0)
+	b.Li(isa.R11, 50)
+	b.Li(isa.R7, 0)
+	b.Label("loop")
+	b.ShlI(isa.R4, isa.R3, 3)
+	b.Add(isa.R4, isa.R1, isa.R4)
+	b.Ld(isa.R5, isa.R4, 0)
+	b.Add(isa.R6, isa.R5, isa.R7)
+	b.Blt(isa.R6, isa.R11, "skip")
+	b.AndI(isa.R7, isa.R5, 3) // sometimes-executed writer of r7
+	b.Label("skip")
+	b.AddI(isa.R3, isa.R3, 1)
+	b.Blt(isa.R3, isa.R2, "loop")
+	b.Halt()
+	p := b.MustBuild()
+	cfg := pipeline.DefaultConfig()
+	cfg.CoSim = true
+	cfg.MaxCycles = 30_000_000
+	c := pipeline.New(cfg, p)
+	tcfg := DefaultConfig()
+	tcfg.NoMasks = true
+	tea := New(tcfg, c)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tea.Stats.PoisonSets == 0 {
+		t.Fatal("poison bits never set")
+	}
+	t.Logf("poison sets=%d violations=%d accuracy=%.3f",
+		tea.Stats.PoisonSets, tea.Stats.PoisonViolations, tea.Stats.Accuracy())
+}
+
+// TestMaskResetBoundsStaleChains: with an aggressive mask-reset period the
+// thread keeps working (correctness + liveness under periodic resets).
+func TestMaskResetAggressive(t *testing.T) {
+	_, tea := runCallKernel(t, func(c *Config) { c.MaskResetPeriod = 10_000 })
+	if tea.Stats.MaskResets == 0 {
+		t.Fatal("mask reset never fired")
+	}
+	if tea.Stats.CoveredMisp == 0 {
+		t.Fatal("no coverage at all under mask resets")
+	}
+}
+
+// TestLeadCapHonored: the companion cursor never runs more than
+// MaxLeadBlocks ahead.
+func TestLeadCapHonored(t *testing.T) {
+	n := 20000
+	data := randData(n, 7)
+	b := asm.NewBuilder()
+	buildFig1Kernel(b, n, data, 8)
+	p := b.MustBuild()
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxCycles = 30_000_000
+	c := pipeline.New(cfg, p)
+	tcfg := DefaultConfig()
+	tcfg.MaxLeadBlocks = 3
+	New(tcfg, c)
+	for !c.Halted() {
+		if err := c.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		if lead := c.TEALeadBlocks(); lead > 3+1 {
+			t.Fatalf("lead %d exceeds cap", lead)
+		}
+		if c.Cycle > 20_000_000 {
+			t.Fatal("wedged")
+		}
+	}
+}
+
+// TestDisableEarlyFlushStillPrefetches: with flushes off, the thread still
+// executes chains (loads warm the caches) and never issues flushes.
+func TestDisableEarlyFlushStillPrefetches(t *testing.T) {
+	c, tea := runCallKernel(t, func(cfg *Config) { cfg.DisableEarlyFlush = true })
+	if tea.Stats.EarlyFlushes != 0 {
+		t.Fatalf("early flushes issued despite DisableEarlyFlush: %d", tea.Stats.EarlyFlushes)
+	}
+	if tea.Stats.UopsRenamed == 0 {
+		t.Fatal("thread executed nothing")
+	}
+	if c.Stats.EarlyFlushes != 0 {
+		t.Fatal("pipeline counted early flushes")
+	}
+}

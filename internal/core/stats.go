@@ -1,0 +1,82 @@
+package core
+
+// Stats collects TEA-thread counters, including the per-misprediction
+// classification behind Fig. 7 and the accuracy/coverage/timeliness
+// measures behind Fig. 10.
+type Stats struct {
+	Activations   uint64
+	TermBCMiss    uint64
+	TermIncorrect uint64 // RAT-poisoning violations
+	TermLate      uint64
+	TermOvertaken uint64 // main thread consumed the stream past the cursor
+
+	WalksDone  uint64
+	WalkMarked uint64 // chain uops marked across all walks
+	MaskResets uint64
+	H2PDecays  uint64
+
+	UopsFetched   uint64 // TEA chain uops fetched from the Block Cache
+	UopsRenamed   uint64
+	PRStallCycles uint64
+
+	// Branch precomputation outcomes (counted at TEA resolution).
+	Resolved       uint64 // TEA branch resolutions delivered
+	EarlyFlushes   uint64 // resolutions that issued an early flush
+	Agreements     uint64 // resolutions agreeing with the current prediction
+	LateEvents     uint64 // resolved after the main branch executed
+	BlockedFlushes uint64 // suppressed by RAT poisoning
+
+	// Retirement-time classification over all retired branches that had a
+	// TEA precomputation.
+	Precomputed uint64
+	PreCorrect  uint64
+	PreWrong    uint64
+
+	// Classification of retired *mispredicted* branches (Fig. 7).
+	CoveredMisp   uint64 // precomputed correctly before main resolution
+	LateMisp      uint64 // precomputed correctly but not earlier
+	IncorrectMisp uint64 // precomputed wrongly
+	UncoveredMisp uint64 // no precomputation available
+	CyclesSaved   uint64 // sum over covered mispredictions
+
+	PoisonSets       uint64
+	PoisonViolations uint64
+	FailSafeWrong    uint64 // wrong precomputations caught at main execute
+	Backoffs         uint64 // adaptive precomputation pauses
+	LoadWaitEnables  uint64 // escalations to conservative load ordering
+
+	ArmMiss        uint64 // arming attempts rejected by a Block Cache miss
+	InactiveCycles uint64
+
+	// OnFlush path distribution (diagnostics).
+	FlushMainSync uint64 // recovered from the main RAT (branch renamed)
+	FlushCkptSync uint64 // recovered from a shadow RAT checkpoint
+	FlushNoSync   uint64 // no synchronization point: thread drained
+}
+
+// Accuracy returns the precomputation accuracy (paper: 99.3%).
+func (s *Stats) Accuracy() float64 {
+	if s.Precomputed == 0 {
+		return 1
+	}
+	return float64(s.PreCorrect) / float64(s.Precomputed)
+}
+
+// Coverage returns the fraction of retired mispredictions the TEA thread
+// resolved early and correctly (paper: ~76%).
+func (s *Stats) Coverage() float64 {
+	total := s.CoveredMisp + s.LateMisp + s.IncorrectMisp + s.UncoveredMisp
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CoveredMisp) / float64(total)
+}
+
+// AvgCyclesSaved returns the mean misprediction cycles saved per covered
+// branch (Fig. 10c's timeliness measure).
+func (s *Stats) AvgCyclesSaved() float64 {
+	if s.CoveredMisp == 0 {
+		return 0
+	}
+	return float64(s.CyclesSaved) / float64(s.CoveredMisp)
+}

@@ -1,0 +1,929 @@
+package core
+
+import (
+	"fmt"
+
+	"teasim/internal/isa"
+	"teasim/internal/pipeline"
+)
+
+// TEA is the precomputation thread, attached to a pipeline.Core as its
+// Companion. See the package comment for the architecture overview.
+type TEA struct {
+	Cfg  Config
+	core *pipeline.Core
+
+	H2P   *H2PTable
+	Fill  *FillBuffer
+	BC    *BlockCache
+	Store *StoreCache
+
+	// Backward Dataflow Walk state machine (§IV-C).
+	walking    bool
+	walkDoneAt uint64
+
+	// Periodic maintenance.
+	retired       uint64
+	nextDecay     uint64
+	nextMaskReset uint64
+
+	// Adaptive backoff: when a decay window delivers more wrong-flush
+	// damage than covered mispredictions, precomputation pauses for the
+	// next window (implementation policy; the paper's termination rules
+	// assume sub-0.1% wrongness, which synthetic chain-dense kernels with
+	// memory-carried dependences can exceed).
+	winCovered   uint64
+	winIncorrect uint64
+	winWrong     uint64 // raw wrong precomputations in the window
+	winRight     uint64
+	backoffUntil uint64
+	// loadWait escalates to conservative TEA load ordering (loads wait for
+	// older in-flight TEA stores) when a window shows wrong precomputations
+	// rivalling covered ones — typically chains whose store→load producer
+	// pairs race in the out-of-order backend. If accuracy stays poor even
+	// with ordering, the backoff pauses precomputation instead.
+	loadWait bool
+
+	// Thread state. The thread arms at every flush: that is the only point
+	// where the recovered main RAT, the shadow RAT, and the redirected fetch
+	// stream are exactly synchronized ("the recovered state of the RAT is
+	// copied over to both the main RAT and the shadow RAT", §IV-F). It then
+	// activates on the first Block Cache hit of the new stream.
+	active       bool
+	armed        bool
+	draining     bool
+	blockFlushes bool
+	lateCount    int
+
+	// Shadow rename (§IV-D) and the reference-counted TEA register pool
+	// (§IV-E: valid bit + 5-bit reference counter per PR, no ROB).
+	shadowRAT [isa.NumRegs]uint16
+	prBase    uint16
+	prFree    []uint16
+	refcnt    []uint8
+	valid     []bool
+	pendWrite []bool
+	allocated []bool
+
+	// TEA frontend pipe (fetched chain uops awaiting shadow rename) and
+	// in-flight inserted uops (for squash/drain accounting).
+	frontQ      []*pipeline.Uop
+	inflight    []*pipeline.Uop
+	outstanding int
+	// pendStores tracks in-flight (renamed, not yet executed) TEA stores so
+	// TEA loads can wait for older producers (§III-D chains through memory).
+	pendStores []uint64
+
+	// curSeg carries an in-progress Block Cache segment across cycles when
+	// the per-cycle uop budget runs out mid-segment (resuming must not look
+	// up a mid-segment PC — only segment starts are tagged).
+	curSeg struct {
+		valid    bool
+		seqBase  uint64 // identifies the fetch block
+		expectPC uint64 // nonzero: awaiting the sequential successor block
+		startOff int
+		end      int
+		mask     uint32
+	}
+
+	// ratCkpts checkpoints the shadow RAT at the rename of every TEA branch
+	// (§IV-F: "checkpointing the contents of the shadow RAT instead of the
+	// main RAT when the TEA thread is running far ahead").
+	ratCkpts map[uint64][isa.NumRegs]uint16
+
+	poison uint32 // poisoned architectural registers (§IV-G)
+
+	// wrongTbl tracks per-branch precomputation accuracy; branches whose
+	// wrong-rate exceeds ~1/8 stop issuing early flushes until the counters
+	// age out (halved periodically). This keeps persistently mis-computed
+	// chains (e.g. memory mutated by in-flight main-thread stores) from
+	// paying the double-flush penalty over and over (§IV-G's intent).
+	wrongTbl map[uint64]*wrongEntry
+
+	debugWrong int // test hook: print the first N wrong precomputations
+
+	Stats Stats
+}
+
+func debugf(format string, args ...any) { fmt.Printf(format, args...) }
+
+// debugResolve prints the first N TEA branch resolutions (test diagnostics).
+var debugResolve int
+
+// debugBCMiss prints the first N Block Cache miss terminations.
+var debugBCMiss int
+
+// debugEmptySeg/debugEmptyPC trace empty-mask segment fetches (diagnostics).
+var debugEmptySeg int
+var debugEmptyPC uint64
+
+// debugFlushLo/Hi bound the OnFlush trace window (diagnostics).
+var debugFlushLo, debugFlushHi uint64
+
+// SetDebugFlushWindow arms the OnFlush trace.
+func SetDebugFlushWindow(lo, hi uint64) { debugFlushLo, debugFlushHi = lo, hi }
+
+// SetDebugBCMiss arms the Block Cache miss trace (test diagnostics).
+func SetDebugBCMiss(n int) { debugBCMiss = n }
+
+// SetDebugWrong arms the wrong-precomputation trace (test diagnostics).
+func (t *TEA) SetDebugWrong(n int) { t.debugWrong = n }
+
+// SetDebugEmptySeg traces empty-mask fetches of the block at pc.
+func SetDebugEmptySeg(n int, pc uint64) { debugEmptySeg, debugEmptyPC = n, pc }
+
+// debugClassify prints the first N retired-misprediction classifications.
+var debugClassify int
+
+// refcntMax is the 5-bit reference-counter saturation point. Saturated
+// counters pin their register until the next thread restart (the paper
+// notes overflow is rare and tolerable).
+const refcntMax = 31
+
+// New builds a TEA thread and attaches it to the core.
+func New(cfg Config, c *pipeline.Core) *TEA {
+	t := &TEA{
+		Cfg:           cfg,
+		core:          c,
+		H2P:           NewH2PTable(&cfg),
+		Fill:          NewFillBuffer(cfg.FillBufSize),
+		BC:            NewBlockCache(&cfg),
+		Store:         NewStoreCache(cfg.StoreCacheLines),
+		prBase:        uint16(c.PRF.ExtraBase()),
+		nextDecay:     cfg.H2PDecayPeriod,
+		nextMaskReset: cfg.MaskResetPeriod,
+	}
+	n := cfg.PRPartition
+	t.refcnt = make([]uint8, n)
+	t.valid = make([]bool, n)
+	t.pendWrite = make([]bool, n)
+	t.allocated = make([]bool, n)
+	t.prFree = make([]uint16, 0, n)
+	t.wrongTbl = make(map[uint64]*wrongEntry)
+	t.ratCkpts = make(map[uint64][isa.NumRegs]uint16)
+	t.resetPRState()
+	c.Attach(t)
+	return t
+}
+
+func (t *TEA) resetPRState() {
+	t.prFree = t.prFree[:0]
+	for i := len(t.refcnt) - 1; i >= 0; i-- {
+		t.prFree = append(t.prFree, t.prBase+uint16(i))
+		t.refcnt[i] = 0
+		t.valid[i] = false
+		t.pendWrite[i] = false
+		t.allocated[i] = false
+	}
+}
+
+func (t *TEA) isTEAPR(p uint16) bool {
+	return p >= t.prBase && int(p-t.prBase) < len(t.refcnt)
+}
+
+func (t *TEA) tryFree(p uint16) {
+	if !t.isTEAPR(p) {
+		return
+	}
+	i := p - t.prBase
+	if t.allocated[i] && !t.valid[i] && t.refcnt[i] == 0 && !t.pendWrite[i] {
+		t.allocated[i] = false
+		t.prFree = append(t.prFree, p)
+	}
+}
+
+func (t *TEA) allocPR() (uint16, bool) {
+	if len(t.prFree) == 0 {
+		return 0, false
+	}
+	p := t.prFree[len(t.prFree)-1]
+	t.prFree = t.prFree[:len(t.prFree)-1]
+	i := p - t.prBase
+	t.allocated[i] = true
+	t.valid[i] = true
+	t.pendWrite[i] = true
+	t.refcnt[i] = 0
+	// The register file slot may hold a stale ready value from a previous
+	// allocation; consumers must wait for the new producer's writeback.
+	t.core.PRF.Ready[p] = false
+	return p, true
+}
+
+// --- Companion interface ---
+
+// OnBlock is unused: the TEA frontend reads blocks via the core's shadow
+// fetch-queue cursor.
+func (t *TEA) OnBlock(*pipeline.FetchBlock) {}
+
+// OnMainFetch is unused: Block Cache bit-masks reach main-thread uops
+// through the fetch block's TEAMask fields.
+func (t *TEA) OnMainFetch(*pipeline.Uop) {}
+
+// OverridePrediction never fires: the TEA thread corrects the stream with
+// early flushes instead of overriding the predictor (§I, §II-C).
+func (t *TEA) OverridePrediction(uint64, uint64) (bool, bool) { return false, false }
+
+// OnRetire trains the H2P table, classifies precomputation outcomes,
+// performs RAT poisoning, and feeds the Fill Buffer.
+func (t *TEA) OnRetire(u *pipeline.Uop) {
+	t.retired++
+	if t.retired >= t.nextDecay {
+		t.nextDecay += t.Cfg.H2PDecayPeriod
+		t.H2P.Decay()
+		t.Stats.H2PDecays++
+		if !t.loadWait && t.winWrong > 16 && t.winWrong*8 > t.winRight {
+			// Accuracy is degrading: enforce producer ordering on TEA loads
+			// before giving up on precomputation.
+			t.loadWait = true
+			t.Stats.LoadWaitEnables++
+		} else if t.winIncorrect > 8 && t.winIncorrect*2 > t.winCovered {
+			t.backoffUntil = t.retired + t.Cfg.H2PDecayPeriod
+			t.Stats.Backoffs++
+			if t.active {
+				t.terminate(false)
+			}
+		}
+		t.winCovered, t.winIncorrect, t.winWrong, t.winRight = 0, 0, 0, 0
+	}
+	if t.retired >= t.nextMaskReset {
+		t.nextMaskReset += t.Cfg.MaskResetPeriod
+		t.BC.ResetMasks()
+		t.Stats.MaskResets++
+	}
+
+	isBranch := u.In.IsBranch()
+	if isBranch && u.Rec != nil {
+		rec := u.Rec
+		if rec.WasMispred {
+			t.H2P.RecordMispredict(u.PC)
+			t.classifyMisprediction(rec)
+		}
+		// Accuracy accounting covers precomputations that arrived before the
+		// main branch resolved; late results never influenced the pipeline
+		// and are tracked in the "late" category instead (§V-B).
+		if rec.Precomputed && rec.PreCycle < rec.ResolveCycle {
+			t.Stats.Precomputed++
+			e := t.wrongTbl[u.PC]
+			if e == nil {
+				e = &wrongEntry{}
+				t.wrongTbl[u.PC] = e
+			}
+			if e.right+e.wrong >= 1024 {
+				e.right /= 2
+				e.wrong /= 2
+			}
+			if precomputeCorrect(rec) {
+				e.right++
+				t.winRight++
+				t.Stats.PreCorrect++
+			} else {
+				e.wrong++
+				t.winWrong++
+				t.Stats.PreWrong++
+				if t.debugWrong > 0 {
+					t.debugWrong--
+					debugf("WRONG pc=%#x seq=%d preTaken=%v preTgt=%#x actTaken=%v actTgt=%#x preCycle=%d resCycle=%d flushed=%v\n",
+						rec.PC, rec.Seq, rec.PreTaken, rec.PreTarget, rec.ActualTaken, rec.ActualTarget, rec.PreCycle, rec.ResolveCycle, rec.PreFlushed)
+				}
+			}
+		}
+	}
+
+	// RAT poisoning (§IV-G): only meaningful while the thread is active and
+	// the Block Cache covered this instruction's block.
+	if t.active && u.MaskSeen {
+		t.poisonCheck(u)
+	}
+
+	// Fill Buffer sampling (§IV-C): drop retiring instructions mid-walk.
+	if !t.walking {
+		isH2P := isBranch && t.H2P.IsH2P(u.PC)
+		t.Fill.Add(FillEntry{
+			PC:       u.PC,
+			In:       u.In,
+			Addr:     u.Addr,
+			IsH2P:    isH2P,
+			ChainBit: isH2P || (u.ChainMarked && !t.Cfg.NoMasks),
+			IsBranch: isBranch,
+			Taken:    u.Taken,
+		})
+		if t.Fill.Full() {
+			t.walking = true
+			t.walkDoneAt = t.core.Cycle + t.Cfg.WalkCycles
+		}
+	}
+}
+
+func precomputeCorrect(rec *pipeline.BranchRec) bool {
+	return rec.PreTaken == rec.ActualTaken &&
+		(!rec.ActualTaken || rec.PreTarget == rec.ActualTarget)
+}
+
+func (t *TEA) classifyMisprediction(rec *pipeline.BranchRec) {
+	if debugClassify > 0 {
+		debugClassify--
+		debugf("MISP pc=%#x seq=%d pre=%v preCyc=%d resCyc=%d flushed=%v\n",
+			rec.PC, rec.Seq, rec.Precomputed, rec.PreCycle, rec.ResolveCycle, rec.PreFlushed)
+	}
+	switch {
+	case !rec.Precomputed:
+		t.Stats.UncoveredMisp++
+	case rec.PreCycle >= rec.ResolveCycle:
+		t.Stats.LateMisp++
+	case !precomputeCorrect(rec):
+		t.Stats.IncorrectMisp++
+		if rec.PreFlushed {
+			t.winIncorrect++
+		}
+	case rec.PreFlushed:
+		// The early flush actually fired: misprediction penalty shrunk.
+		t.Stats.CoveredMisp++
+		t.winCovered++
+		t.Stats.CyclesSaved += rec.ResolveCycle - rec.PreCycle
+	default:
+		// Correct and early, but the flush was suppressed or disabled:
+		// no benefit was delivered.
+		t.Stats.UncoveredMisp++
+	}
+}
+
+// poisonCheck implements §IV-G: unmasked instructions poison their
+// destination AR; masked instructions clear it, and a masked instruction
+// reading a poisoned AR reveals an incorrect dependence chain.
+func (t *TEA) poisonCheck(u *pipeline.Uop) {
+	hasDest := u.In.HasDest() && u.In.Rd != isa.R0
+	if !u.ChainMarked {
+		if hasDest {
+			t.poison |= 1 << uint(u.In.Rd)
+			t.Stats.PoisonSets++
+		}
+		return
+	}
+	var buf [2]isa.Reg
+	for _, r := range u.In.Srcs(buf[:0]) {
+		if r != isa.R0 && t.poison&(1<<uint(r)) != 0 {
+			t.Stats.PoisonViolations++
+			t.Stats.TermIncorrect++
+			t.terminate(true)
+			return
+		}
+	}
+	if hasDest {
+		t.poison &^= 1 << uint(u.In.Rd)
+	}
+}
+
+// OnFlush restores TEA state after any flush (§IV-F): uops younger than the
+// branch are squashed, the recovered RAT is copied into the shadow RAT, and
+// the shadow fetch cursor resumes with the corrected stream. Issued TEA uops
+// older than the branch stay in flight and may still deliver early flushes
+// (nested/out-of-order resolution).
+func (t *TEA) OnFlush(seq uint64, branchRenamed bool) {
+	// Un-renamed fetched uops: drop them all (their rename state is gone).
+	t.frontQ = t.frontQ[:0]
+
+	// Squash issued TEA uops younger than the branch; their completion
+	// drains through UopExecuted, which releases their registers.
+	// (Never-issued ones were already handled via UopSquashed.)
+	live := t.inflight[:0]
+	for _, u := range t.inflight {
+		if u.CompDone {
+			continue
+		}
+		if u.Seq > seq {
+			u.Squashed = true
+		}
+		live = append(live, u)
+	}
+	t.inflight = live
+
+	// Drop checkpoints of squashed TEA branches.
+	for s := range t.ratCkpts {
+		if s > seq {
+			delete(t.ratCkpts, s)
+		}
+	}
+
+	// Resynchronize the shadow RAT with the post-flush stream. If the main
+	// thread had renamed the branch, the recovered main RAT is the exact
+	// program state at the branch. If not — the TEA thread was running far
+	// ahead and partially flushed the frontend — recover from the shadow
+	// RAT checkpoint taken when the TEA branch renamed (§IV-F).
+	ckpt, hasCkpt := t.ratCkpts[seq]
+	if debugFlushLo <= seq && seq <= debugFlushHi {
+		debugf("ONFLUSH seq=%d renamed=%v ckpt=%v cyc=%d frontQ=%d r8map=%d\n",
+			seq, branchRenamed, hasCkpt, t.core.Cycle, len(t.frontQ), t.shadowRAT[8])
+	}
+	switch {
+	case branchRenamed:
+		t.Stats.FlushMainSync++
+		t.shadowRAT = t.core.RATSnapshot()
+		t.unmapTEARegs(nil)
+		if !t.draining {
+			t.armed = true
+		}
+	case hasCkpt:
+		t.Stats.FlushCkptSync++
+		t.shadowRAT = ckpt
+		t.unmapTEARegs(&ckpt)
+		if !t.draining {
+			t.armed = true
+		}
+	default:
+		t.Stats.FlushNoSync++
+		// No synchronization point (e.g. a decode re-steer of a branch the
+		// TEA thread never renamed): drain and wait for the next flush.
+		t.shadowRAT = t.core.RATSnapshot()
+		t.unmapTEARegs(nil)
+		if t.active {
+			t.terminate(false)
+		}
+		t.armed = false
+	}
+	t.poison = 0
+	t.curSeg.valid = false
+	t.core.TEAResetCursor()
+}
+
+// unmapTEARegs invalidates all TEA-pool registers except those still mapped
+// by keep (a restored shadow RAT checkpoint), then frees the releasable ones.
+func (t *TEA) unmapTEARegs(keep *[isa.NumRegs]uint16) {
+	kept := make([]bool, len(t.valid))
+	if keep != nil {
+		for _, p := range keep {
+			if t.isTEAPR(p) {
+				kept[p-t.prBase] = true
+			}
+		}
+	}
+	for i := range t.valid {
+		if kept[i] {
+			t.valid[i] = true
+			continue
+		}
+		if t.valid[i] {
+			t.valid[i] = false
+			t.tryFree(t.prBase + uint16(i))
+		}
+	}
+}
+
+// PrecomputationWrong reacts to the in-flight branch queue fail-safe
+// (§IV-G): the thread is terminated (drained), and branches that keep
+// precomputing wrongly are suppressed from issuing early flushes until the
+// counter decays.
+func (t *TEA) PrecomputationWrong(pc uint64) {
+	t.Stats.FailSafeWrong++
+	// No explicit termination: when the wrong outcome redirected the stream,
+	// the fail-safe flush itself resynchronizes the thread through OnFlush.
+	// Retirement-time accuracy tracking suppresses persistent offenders.
+}
+
+// wrongEntry tracks a branch's precomputation accuracy at retirement.
+type wrongEntry struct{ right, wrong uint32 }
+
+// suppressed reports whether early flushes for pc are currently disabled
+// (wrong-rate above ~1/8 with enough samples).
+func (t *TEA) suppressed(pc uint64) bool {
+	e := t.wrongTbl[pc]
+	return e != nil && e.wrong >= uint32(t.Cfg.WrongLimit) && e.wrong*8 > e.right
+}
+
+// UopSquashed handles companion uops squashed before they issued (no
+// completion callback will come).
+func (t *TEA) UopSquashed(u *pipeline.Uop) {
+	t.outstanding--
+	t.releaseUop(u)
+	if t.draining && t.outstanding == 0 {
+		t.finishDrain()
+	}
+}
+
+// Tick runs the TEA frontend each cycle: commit finished walks, try to
+// (re)activate, fetch chain uops from the Block Cache, and shadow-rename
+// them into the shared backend with issue priority.
+func (t *TEA) Tick() {
+	if t.walking && t.core.Cycle >= t.walkDoneAt {
+		t.commitWalk()
+	}
+	if t.draining && t.outstanding == 0 {
+		t.finishDrain()
+	}
+	if t.core.TEACursorInvalid() {
+		// The main thread consumed the stream past our cursor: the shadow
+		// RAT no longer corresponds to the next block. Lose the arm (and
+		// the thread, if running) until the next flush re-synchronizes.
+		t.armed = false
+		if t.active {
+			t.Stats.TermOvertaken++
+			t.terminate(false)
+		}
+	}
+	if !t.active {
+		t.Stats.InactiveCycles++
+		if t.armed && !t.draining && t.retired >= t.backoffUntil {
+			t.tryActivate()
+		}
+		return
+	}
+	t.fetchChainUops()
+	t.renameAndInsert()
+}
+
+func (t *TEA) commitWalk() {
+	marked := t.Fill.Walk(&t.Cfg)
+	t.Stats.WalksDone++
+	t.Stats.WalkMarked += uint64(marked)
+	t.Fill.Segments(func(startPC uint64, count int, mask uint32) {
+		t.BC.Update(startPC, count, mask)
+	})
+	t.Fill.Reset()
+	t.walking = false
+}
+
+// tryActivate starts the thread when the first block of the post-flush
+// stream hits in the Block Cache (§IV-D: "initiated on a hit in the Block
+// Cache"). The shadow RAT was synchronized when the flush armed the thread;
+// a Block Cache miss disarms it until the next flush (starting mid-stream
+// without that synchronization would precompute with stale values).
+func (t *TEA) tryActivate() {
+	if t.BC.Updates == 0 {
+		return
+	}
+	blk := t.core.TEANextBlockPeek()
+	if blk == nil {
+		return // the redirected stream has not produced a block yet
+	}
+	if _, _, hit := t.BC.Lookup(blk.StartPC); !hit {
+		t.armed = false
+		t.Stats.ArmMiss++
+		return
+	}
+	t.active = true
+	t.armed = false
+	t.Stats.Activations++
+	t.Store.Reset()
+	t.poison = 0
+	t.lateCount = 0
+	t.blockFlushes = false
+	t.core.SetPartition(true, t.Cfg.RSPartition, t.Cfg.PRPartition)
+}
+
+// fetchChainUops reads dependence-chain segments from the Block Cache along
+// the shadow fetch-address stream: up to SegMaxUops chain uops per cycle
+// across at most two blocks (§IV-C/D).
+func (t *TEA) fetchChainUops() {
+	budget := t.Cfg.SegMaxUops
+	lookups := 0
+	blocksDone := 0
+	for budget > 0 && blocksDone < 2 && lookups < 4 {
+		if t.core.TEALeadBlocks() >= t.Cfg.MaxLeadBlocks {
+			return // shadow fetch queue full: far enough ahead
+		}
+		blk, off := t.core.TEACursor()
+		if blk == nil {
+			return // caught up with the branch predictor
+		}
+		if off >= blk.Count {
+			t.core.TEAAdvanceBlock()
+			t.curSeg.valid = false
+			blocksDone++
+			continue
+		}
+
+		var mask uint32
+		var segStart, segEnd int
+		if t.curSeg.valid && t.curSeg.expectPC != 0 &&
+			t.curSeg.expectPC == blk.StartPC && off == 0 {
+			// The awaited sequential successor block arrived: bind the
+			// carried segment remainder to it.
+			t.curSeg.expectPC = 0
+			t.curSeg.seqBase = blk.SeqBase
+			blk.TEAMask |= t.curSeg.mask >> uint(-t.curSeg.startOff)
+			blk.TEAMaskValid = true
+			mask, segStart, segEnd = t.curSeg.mask, t.curSeg.startOff, t.curSeg.end
+		} else if t.curSeg.valid && t.curSeg.expectPC == 0 &&
+			t.curSeg.seqBase == blk.SeqBase &&
+			off >= t.curSeg.startOff+1 && off < t.curSeg.end {
+			// Resume the segment interrupted by the uop budget.
+			mask, segStart, segEnd = t.curSeg.mask, t.curSeg.startOff, t.curSeg.end
+		} else {
+			pc := blk.StartPC + uint64(off)*isa.InstBytes
+			m, count, hit := t.BC.Lookup(pc)
+			lookups++
+			if !hit {
+				if debugBCMiss > 0 {
+					debugBCMiss--
+					debugf("BCMISS pc=%#x off=%d blkStart=%#x blkCount=%d cyc=%d segValid=%v segBase=%d blkBase=%d segStart=%d segEnd=%d\n",
+						pc, off, blk.StartPC, blk.Count, t.core.Cycle,
+						t.curSeg.valid, t.curSeg.seqBase, blk.SeqBase, t.curSeg.startOff, t.curSeg.end)
+				}
+				t.Stats.TermBCMiss++
+				t.terminate(false)
+				return
+			}
+			if debugEmptySeg > 0 && m == 0 && blk.StartPC == debugEmptyPC {
+				debugEmptySeg--
+				debugf("EMPTYSEG pc=%#x off=%d cyc=%d count=%d\n", pc, off, t.core.Cycle, count)
+			}
+			mask, segStart = m, off
+			segEnd = off + count
+			t.curSeg.valid = true
+			t.curSeg.expectPC = 0
+			t.curSeg.seqBase = blk.SeqBase
+			t.curSeg.startOff = segStart
+			t.curSeg.end = segEnd
+			t.curSeg.mask = mask
+			// Publish the mask so main-thread instructions get chain-marked
+			// (Fill Buffer seeds, §III-C) and poison-checked (§IV-G).
+			blk.TEAMask |= mask << uint(off)
+			blk.TEAMaskValid = true
+		}
+
+		segLimit := segEnd
+		if segLimit > blk.Count {
+			segLimit = blk.Count
+		}
+		i := off
+		for ; i < segLimit && budget > 0; i++ {
+			if mask&(1<<uint(i-segStart)) != 0 {
+				t.fetchUop(blk, i)
+				budget--
+			}
+		}
+		t.core.TEASetOffset(i)
+		if i < segLimit {
+			return // uop budget exhausted mid-segment; resume next cycle
+		}
+		if segLimit >= blk.Count {
+			endPC := blk.StartPC + uint64(blk.Count)*isa.InstBytes
+			consumed := blk.Count - segStart
+			t.core.TEAAdvanceBlock()
+			blocksDone++
+			t.curSeg.valid = false
+			if segEnd > blk.Count {
+				// The Block Cache segment extends past this fetch block
+				// (the BP capped the block at 32 instructions mid-segment).
+				// Carry the remainder into the sequential successor block,
+				// which may not have been produced by the BP yet.
+				t.curSeg.valid = true
+				t.curSeg.expectPC = endPC
+				t.curSeg.startOff = -consumed
+				t.curSeg.end = segEnd - blk.Count
+				t.curSeg.mask = mask
+			}
+		} else {
+			t.curSeg.valid = false
+		}
+	}
+}
+
+func (t *TEA) fetchUop(blk *pipeline.FetchBlock, idx int) {
+	pc := blk.StartPC + uint64(idx)*isa.InstBytes
+	in := t.core.Prog.InstAt(pc)
+	if in == nil {
+		return
+	}
+	u := &pipeline.Uop{
+		Seq:        blk.SeqBase + uint64(idx),
+		PC:         pc,
+		In:         in,
+		Cls:        in.Class(),
+		TEA:        true,
+		FetchCycle: t.core.Cycle,
+	}
+	if in.IsBranch() {
+		u.Rec = blk.BranchAt(idx)
+	}
+	t.frontQ = append(t.frontQ, u)
+	t.Stats.UopsFetched++
+}
+
+// renameAndInsert moves rename-ready TEA uops through the shadow RAT into
+// the shared backend, claiming issue slots with priority (§IV-D/E).
+func (t *TEA) renameAndInsert() {
+	for len(t.frontQ) > 0 {
+		u := t.frontQ[0]
+		if u.FetchCycle+t.Cfg.FrontLatency > t.core.Cycle {
+			return
+		}
+		if t.core.IssueSlotsLeft() == 0 || t.core.CompanionRSFree() == 0 {
+			return
+		}
+		hasDest := u.In.HasDest() && u.In.Rd != isa.R0
+		if hasDest && len(t.prFree) == 0 {
+			t.Stats.PRStallCycles++
+			return
+		}
+		t.frontQ = t.frontQ[1:]
+
+		if u.In.IsBranch() {
+			// Checkpoint the shadow RAT for partial-frontend-flush recovery.
+			t.ratCkpts[u.Seq] = t.shadowRAT
+		}
+		u.Prs1 = t.shadowRAT[u.In.Rs1]
+		u.Prs2 = t.shadowRAT[u.In.Rs2]
+		t.bumpRef(u.Prs1)
+		t.bumpRef(u.Prs2)
+		u.HasDest = hasDest
+		if hasDest {
+			prev := t.shadowRAT[u.In.Rd]
+			p, _ := t.allocPR()
+			u.Prd = p
+			t.shadowRAT[u.In.Rd] = p
+			if t.isTEAPR(prev) {
+				t.valid[prev-t.prBase] = false
+				t.tryFree(prev)
+			}
+		}
+		if !t.core.InsertCompanionUop(u) {
+			// Capacity checked above; this is unreachable, but recover by
+			// unwinding the rename if it ever trips.
+			panic("core: InsertCompanionUop rejected after capacity check")
+		}
+		if u.In.IsStore() {
+			t.pendStores = append(t.pendStores, u.Seq)
+		}
+		t.outstanding++
+		t.inflight = append(t.inflight, u)
+		t.Stats.UopsRenamed++
+	}
+}
+
+func (t *TEA) bumpRef(p uint16) {
+	if t.isTEAPR(p) && t.refcnt[p-t.prBase] < refcntMax {
+		t.refcnt[p-t.prBase]++
+	}
+}
+
+func (t *TEA) dropRef(p uint16) {
+	if !t.isTEAPR(p) {
+		return
+	}
+	i := p - t.prBase
+	if t.refcnt[i] > 0 && t.refcnt[i] < refcntMax {
+		t.refcnt[i]--
+		if t.refcnt[i] == 0 {
+			t.tryFree(p)
+		}
+	}
+}
+
+// OlderStorePending reports whether a TEA store older than (but close to)
+// seq is still in flight. TEA loads wait for such stores: short-range
+// store→load pairs are producer chains (arguments through the stack,
+// §III-D), while distant pending stores (other loop iterations' updates)
+// would only serialize the thread.
+func (t *TEA) OlderStorePending(seq uint64) bool {
+	if !t.loadWait {
+		return false
+	}
+	win := uint64(t.Cfg.StoreWaitWindow)
+	for _, s := range t.pendStores {
+		if s < seq && seq-s <= win {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *TEA) dropPendStore(seq uint64) {
+	for i, s := range t.pendStores {
+		if s == seq {
+			t.pendStores = append(t.pendStores[:i], t.pendStores[i+1:]...)
+			return
+		}
+	}
+}
+
+// releaseUop returns a uop's register references to the pool (exactly once).
+func (t *TEA) releaseUop(u *pipeline.Uop) {
+	if u.CompDone {
+		return
+	}
+	u.CompDone = true
+	if u.In.IsStore() {
+		t.dropPendStore(u.Seq)
+	}
+	if u.In.IsBranch() {
+		delete(t.ratCkpts, u.Seq)
+	}
+	t.dropRef(u.Prs1)
+	t.dropRef(u.Prs2)
+	if u.HasDest && t.isTEAPR(u.Prd) {
+		i := u.Prd - t.prBase
+		t.pendWrite[i] = false
+		t.tryFree(u.Prd)
+	}
+}
+
+// --- execution hooks ---
+
+// LoadValue consults the TEA store data cache for a TEA load.
+func (t *TEA) LoadValue(addr uint64, size int) (uint64, bool) {
+	return t.Store.Read(addr, size)
+}
+
+// StoreExec buffers a TEA store's data (§IV-E).
+func (t *TEA) StoreExec(addr uint64, data uint64, size int) {
+	t.Store.Write(addr, data, size)
+}
+
+// UopExecuted retires a TEA uop from the backend (normal or squashed),
+// driving the reference-counted register freeing and drain accounting.
+func (t *TEA) UopExecuted(u *pipeline.Uop) {
+	t.outstanding--
+	t.releaseUop(u)
+	if t.draining && t.outstanding == 0 {
+		t.finishDrain()
+	}
+}
+
+// BranchResolved delivers a TEA branch outcome. Sharing the main-thread
+// branch's timestamp, it can correct the in-flight branch queue entry and
+// issue an early misprediction flush through the existing flush mechanism
+// (§IV-F).
+func (t *TEA) BranchResolved(u *pipeline.Uop, taken bool, target uint64) {
+	t.Stats.Resolved++
+	rec := t.core.Branch(u.Seq)
+	if rec == nil || rec.PC != u.PC {
+		t.lateEvent() // main branch already left the pipeline
+		return
+	}
+	if rec.Resolved {
+		// Record the precomputation for accounting even though it lost the
+		// race (the paper's "late" category).
+		rec.Precomputed = true
+		rec.PreTaken, rec.PreTarget, rec.PreCycle = taken, target, t.core.Cycle
+		t.lateEvent()
+		return
+	}
+	rec.Precomputed = true
+	rec.PreTaken, rec.PreTarget, rec.PreCycle = taken, target, t.core.Cycle
+	if debugResolve > 0 {
+		debugResolve--
+		debugf("RESOLVE cyc=%d seq=%d pc=%#x taken=%v prs1=%d v1=%d predNext=%#x\n",
+			t.core.Cycle, u.Seq, u.PC, taken, u.Prs1, int64(t.core.PRF.Val[u.Prs1]), rec.PredNext)
+	}
+
+	next := target
+	if !taken {
+		next = rec.PC + isa.InstBytes
+	}
+	if next == rec.PredNext {
+		t.Stats.Agreements++
+		return
+	}
+	if t.blockFlushes || t.suppressed(rec.PC) {
+		t.Stats.BlockedFlushes++
+		return
+	}
+	if t.Cfg.DisableEarlyFlush {
+		return
+	}
+	rec.PreFlushed = true
+	t.Stats.EarlyFlushes++
+	t.core.EarlyFlush(rec, taken, target)
+}
+
+func (t *TEA) lateEvent() {
+	t.Stats.LateEvents++
+	t.lateCount++
+	if t.lateCount > t.Cfg.LateLimit && t.active {
+		t.Stats.TermLate++
+		t.terminate(false)
+	}
+}
+
+// terminate stops fetching and drains the thread (§IV-G). blockFlushes
+// suppresses further early flushes from in-flight TEA branches (the RAT-
+// poisoning path).
+func (t *TEA) terminate(blockFlushes bool) {
+	if !t.active && !t.draining {
+		return
+	}
+	t.active = false
+	t.blockFlushes = t.blockFlushes || blockFlushes
+	t.frontQ = t.frontQ[:0]
+	t.curSeg.valid = false
+	// Waiting (un-issued) uops may depend on registers that will never be
+	// written; drop them now so the drain is bounded by execution latency.
+	t.core.SquashCompanionWaiting()
+	if t.outstanding == 0 {
+		t.finishDrain()
+	} else {
+		t.draining = true
+	}
+}
+
+func (t *TEA) finishDrain() {
+	t.draining = false
+	t.blockFlushes = false
+	t.lateCount = 0
+	t.resetPRState()
+	t.Store.Reset()
+	t.core.SetPartition(false, 0, 0)
+}
+
+// Active reports whether the TEA thread is currently fetching.
+func (t *TEA) Active() bool { return t.active }

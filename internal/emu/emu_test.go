@@ -1,0 +1,326 @@
+package emu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"teasim/internal/asm"
+	"teasim/internal/isa"
+)
+
+func run(t *testing.T, build func(b *asm.Builder)) *Machine {
+	t.Helper()
+	b := asm.NewBuilder()
+	build(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// sum of 1..100 = 5050
+	m := run(t, func(b *asm.Builder) {
+		b.Li(isa.R1, 0) // sum
+		b.Li(isa.R2, 1) // i
+		b.Li(isa.R3, 100)
+		b.Label("loop")
+		b.Add(isa.R1, isa.R1, isa.R2)
+		b.AddI(isa.R2, isa.R2, 1)
+		b.Bge(isa.R3, isa.R2, "loop")
+		b.Halt()
+	})
+	if m.Regs[isa.R1] != 5050 {
+		t.Fatalf("sum = %d", m.Regs[isa.R1])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.DataU64(0x20000, []uint64{10, 20, 30, 40})
+		b.LiU(isa.R1, 0x20000)
+		b.Ld(isa.R2, isa.R1, 8)  // 20
+		b.Ld(isa.R3, isa.R1, 24) // 40
+		b.Add(isa.R4, isa.R2, isa.R3)
+		b.St(isa.R1, 32, isa.R4) // mem[0x20020] = 60
+		b.Ld(isa.R5, isa.R1, 32)
+		b.Halt()
+	})
+	if m.Regs[isa.R5] != 60 {
+		t.Fatalf("r5 = %d", m.Regs[isa.R5])
+	}
+	if got := m.Mem.ReadU64(0x20020); got != 60 {
+		t.Fatalf("mem = %d", got)
+	}
+}
+
+func TestSubWordAccess(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.LiU(isa.R1, 0x20000)
+		b.Li(isa.R2, 0x11223344AABBCCDD)
+		b.St(isa.R1, 0, isa.R2)
+		b.Ld4(isa.R3, isa.R1, 0) // 0xAABBCCDD zero-extended
+		b.Ld1(isa.R4, isa.R1, 1) // 0xCC
+		b.Li(isa.R5, 0xEE)
+		b.St1(isa.R1, 7, isa.R5)
+		b.Ld(isa.R6, isa.R1, 0)
+		b.Halt()
+	})
+	if m.Regs[isa.R3] != 0xAABBCCDD {
+		t.Fatalf("ld4 = %#x", m.Regs[isa.R3])
+	}
+	if m.Regs[isa.R4] != 0xCC {
+		t.Fatalf("ld1 = %#x", m.Regs[isa.R4])
+	}
+	if m.Regs[isa.R6] != 0xEE223344AABBCCDD {
+		t.Fatalf("patched = %#x", m.Regs[isa.R6])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Label("main")
+		b.Li(isa.R1, 5)
+		b.Call("double")
+		b.Call("double")
+		b.Halt()
+		b.Label("double")
+		b.Add(isa.R1, isa.R1, isa.R1)
+		b.Ret()
+	})
+	if m.Regs[isa.R1] != 20 {
+		t.Fatalf("r1 = %d", m.Regs[isa.R1])
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	// computed dispatch: jump to 'two' via register
+	m := run(t, func(b *asm.Builder) {
+		b.LiLabel(isa.R1, "two")
+		b.Jr(isa.R1, 0)
+		b.Li(isa.R2, 1)
+		b.Halt()
+		b.Label("two")
+		b.Li(isa.R2, 2)
+		b.Halt()
+	})
+	if m.Regs[isa.R2] != 2 {
+		t.Fatalf("r2 = %d", m.Regs[isa.R2])
+	}
+}
+
+func TestR0IsZero(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Li(isa.R0, 99) // write to R0 must be discarded
+		b.AddI(isa.R1, isa.R0, 3)
+		b.Halt()
+	})
+	if m.Regs[isa.R0] != 0 {
+		t.Fatalf("r0 = %d", m.Regs[isa.R0])
+	}
+	if m.Regs[isa.R1] != 3 {
+		t.Fatalf("r1 = %d", m.Regs[isa.R1])
+	}
+}
+
+func TestDivRemByZero(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Li(isa.R1, 42)
+		b.Li(isa.R2, 0)
+		b.Div(isa.R3, isa.R1, isa.R2)
+		b.Rem(isa.R4, isa.R1, isa.R2)
+		b.Halt()
+	})
+	if m.Regs[isa.R3] != 0 {
+		t.Fatalf("div/0 = %d", m.Regs[isa.R3])
+	}
+	if m.Regs[isa.R4] != 42 {
+		t.Fatalf("rem/0 = %d", m.Regs[isa.R4])
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	m := run(t, func(b *asm.Builder) {
+		b.Li(isa.R1, 3)
+		b.FCvt(isa.R2, isa.R1) // 3.0
+		b.Li(isa.R3, 4)
+		b.FCvt(isa.R4, isa.R3)         // 4.0
+		b.FMul(isa.R5, isa.R2, isa.R4) // 12.0
+		b.FAdd(isa.R5, isa.R5, isa.R2) // 15.0
+		b.FDiv(isa.R5, isa.R5, isa.R4) // 3.75
+		b.FLt(isa.R6, isa.R2, isa.R4)  // 1
+		b.FInt(isa.R7, isa.R5)         // 3
+		b.Halt()
+	})
+	if got := math.Float64frombits(m.Regs[isa.R5]); got != 3.75 {
+		t.Fatalf("fp = %v", got)
+	}
+	if m.Regs[isa.R6] != 1 || m.Regs[isa.R7] != 3 {
+		t.Fatalf("flt=%d fint=%d", m.Regs[isa.R6], m.Regs[isa.R7])
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	// Each branch kind tested taken and not-taken via a bitmask result.
+	m := run(t, func(b *asm.Builder) {
+		b.Li(isa.R10, 0) // result mask
+		b.Li(isa.R1, 5)
+		b.Li(isa.R2, ^int64(0)) // -1
+
+		b.Beq(isa.R1, isa.R1, "t1")
+		b.Jmp("f1")
+		b.Label("t1")
+		b.OrI(isa.R10, isa.R10, 1)
+		b.Label("f1")
+
+		b.Bne(isa.R1, isa.R1, "t2")
+		b.Jmp("f2")
+		b.Label("t2")
+		b.OrI(isa.R10, isa.R10, 2) // must not execute
+		b.Label("f2")
+
+		b.Blt(isa.R2, isa.R1, "t3") // -1 < 5 signed
+		b.Jmp("f3")
+		b.Label("t3")
+		b.OrI(isa.R10, isa.R10, 4)
+		b.Label("f3")
+
+		b.Bltu(isa.R2, isa.R1, "t4") // max-uint < 5 unsigned: false
+		b.Jmp("f4")
+		b.Label("t4")
+		b.OrI(isa.R10, isa.R10, 8)
+		b.Label("f4")
+
+		b.Bge(isa.R1, isa.R2, "t5") // 5 >= -1 signed
+		b.Jmp("f5")
+		b.Label("t5")
+		b.OrI(isa.R10, isa.R10, 16)
+		b.Label("f5")
+
+		b.Bgeu(isa.R2, isa.R1, "t6") // max-uint >= 5 unsigned
+		b.Jmp("f6")
+		b.Label("t6")
+		b.OrI(isa.R10, isa.R10, 32)
+		b.Label("f6")
+		b.Halt()
+	})
+	if m.Regs[isa.R10] != 1|4|16|32 {
+		t.Fatalf("branch mask = %#b", m.Regs[isa.R10])
+	}
+}
+
+func TestStepRecords(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Li(isa.R1, 7)
+	b.LiU(isa.R2, 0x20000)
+	b.St(isa.R2, 0, isa.R1)
+	b.Ld(isa.R3, isa.R2, 0)
+	b.Beq(isa.R3, isa.R1, "done")
+	b.Nop()
+	b.Label("done")
+	b.Halt()
+	m := New(b.MustBuild())
+
+	s, _ := m.Step()
+	if !s.WroteReg || s.Rd != isa.R1 || s.RegVal != 7 {
+		t.Fatalf("li step: %+v", s)
+	}
+	m.Step()
+	s, _ = m.Step()
+	if !s.IsStore || s.MemAddr != 0x20000 || s.MemVal != 7 || s.MemSize != 8 {
+		t.Fatalf("store step: %+v", s)
+	}
+	s, _ = m.Step()
+	if !s.IsLoad || s.RegVal != 7 {
+		t.Fatalf("load step: %+v", s)
+	}
+	s, _ = m.Step()
+	if !s.IsBranch || !s.Taken {
+		t.Fatalf("branch step: %+v", s)
+	}
+	if s.NextPC != s.Target {
+		t.Fatalf("taken branch nextPC %#x != target %#x", s.NextPC, s.Target)
+	}
+	s, _ = m.Step()
+	if !s.Halted || !m.Halted {
+		t.Fatalf("halt step: %+v", s)
+	}
+	// Stepping a halted machine is a no-op.
+	s, _ = m.Step()
+	if !s.Halted {
+		t.Fatalf("post-halt step: %+v", s)
+	}
+}
+
+// Property: Eval agrees with Machine.Step for ALU/FP register results on
+// random operand values across all two-source register ops.
+func TestEvalMatchesStepProperty(t *testing.T) {
+	ops := []isa.Op{
+		isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl,
+		isa.OpShr, isa.OpSar, isa.OpMul, isa.OpDiv, isa.OpRem, isa.OpSlt,
+		isa.OpSltu, isa.OpMin, isa.OpMax, isa.OpFAdd, isa.OpFSub, isa.OpFMul,
+		isa.OpFLt,
+	}
+	f := func(a, b uint64, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		bld := asm.NewBuilder()
+		bld.Li(isa.R1, int64(a))
+		bld.Li(isa.R2, int64(b))
+		bld.Emit(isa.Inst{Op: op, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.R2})
+		bld.Halt()
+		m := New(bld.MustBuild())
+		m.Step()
+		m.Step()
+		s, err := m.Step()
+		if err != nil {
+			return false
+		}
+		in := &isa.Inst{Op: op, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.R2}
+		v, ok := Eval(in, a, b, 0)
+		if !ok {
+			return false
+		}
+		// NaN-producing FP ops still must agree bit-for-bit.
+		return v == s.RegVal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BranchOutcome agrees with Step for conditional branches.
+func TestBranchOutcomeMatchesStepProperty(t *testing.T) {
+	ops := []isa.Op{isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu}
+	f := func(a, b uint64, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		bld := asm.NewBuilder()
+		bld.Li(isa.R1, int64(a))
+		bld.Li(isa.R2, int64(b))
+		bld.BranchOp(op, isa.R1, isa.R2, "target")
+		bld.Halt()
+		bld.Label("target")
+		bld.Halt()
+		m := New(bld.MustBuild())
+		m.Step()
+		m.Step()
+		s, err := m.Step()
+		if err != nil {
+			return false
+		}
+		in := m.Prog.Code[2]
+		taken, target := BranchOutcome(&in, a, b)
+		return taken == s.Taken && target == s.Target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package emu
+
+import (
+	"math"
+
+	"teasim/internal/isa"
+)
+
+// Eval computes the register result of a non-memory, non-store instruction
+// given its source values and PC. It is shared by the pipeline execute stage
+// and the TEA thread so value semantics cannot diverge from the golden model.
+// For loads, use the memory system; Eval reports hasVal=false.
+func Eval(in *isa.Inst, rs1, rs2, pc uint64) (val uint64, hasVal bool) {
+	switch in.Op {
+	case isa.OpAdd:
+		return rs1 + rs2, true
+	case isa.OpSub:
+		return rs1 - rs2, true
+	case isa.OpAnd:
+		return rs1 & rs2, true
+	case isa.OpOr:
+		return rs1 | rs2, true
+	case isa.OpXor:
+		return rs1 ^ rs2, true
+	case isa.OpShl:
+		return rs1 << (rs2 & 63), true
+	case isa.OpShr:
+		return rs1 >> (rs2 & 63), true
+	case isa.OpSar:
+		return uint64(int64(rs1) >> (rs2 & 63)), true
+	case isa.OpMul:
+		return rs1 * rs2, true
+	case isa.OpDiv:
+		if rs2 == 0 {
+			return 0, true
+		}
+		return uint64(int64(rs1) / int64(rs2)), true
+	case isa.OpRem:
+		if rs2 == 0 {
+			return rs1, true
+		}
+		return uint64(int64(rs1) % int64(rs2)), true
+	case isa.OpSlt:
+		return boolToU64(int64(rs1) < int64(rs2)), true
+	case isa.OpSltu:
+		return boolToU64(rs1 < rs2), true
+	case isa.OpMin:
+		if int64(rs1) < int64(rs2) {
+			return rs1, true
+		}
+		return rs2, true
+	case isa.OpMax:
+		if int64(rs1) > int64(rs2) {
+			return rs1, true
+		}
+		return rs2, true
+	case isa.OpAddI:
+		return rs1 + uint64(in.Imm), true
+	case isa.OpAndI:
+		return rs1 & uint64(in.Imm), true
+	case isa.OpOrI:
+		return rs1 | uint64(in.Imm), true
+	case isa.OpXorI:
+		return rs1 ^ uint64(in.Imm), true
+	case isa.OpShlI:
+		return rs1 << (uint64(in.Imm) & 63), true
+	case isa.OpShrI:
+		return rs1 >> (uint64(in.Imm) & 63), true
+	case isa.OpMulI:
+		return rs1 * uint64(in.Imm), true
+	case isa.OpSltI:
+		return boolToU64(int64(rs1) < in.Imm), true
+	case isa.OpSltuI:
+		return boolToU64(rs1 < uint64(in.Imm)), true
+	case isa.OpLi:
+		return uint64(in.Imm), true
+	case isa.OpFAdd:
+		return b64(f64(rs1) + f64(rs2)), true
+	case isa.OpFSub:
+		return b64(f64(rs1) - f64(rs2)), true
+	case isa.OpFMul:
+		return b64(f64(rs1) * f64(rs2)), true
+	case isa.OpFDiv:
+		return b64(f64(rs1) / f64(rs2)), true
+	case isa.OpFLt:
+		return boolToU64(f64(rs1) < f64(rs2)), true
+	case isa.OpFCvt:
+		return math.Float64bits(float64(int64(rs1))), true
+	case isa.OpFInt:
+		return uint64(int64(f64(rs1))), true
+	case isa.OpCall, isa.OpCallR:
+		return pc + isa.InstBytes, true
+	}
+	return 0, false
+}
+
+// BranchOutcome evaluates a control-flow instruction: whether it is taken
+// and where it goes when taken.
+func BranchOutcome(in *isa.Inst, rs1, rs2 uint64) (taken bool, target uint64) {
+	switch in.Op {
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		return condTaken(in.Op, rs1, rs2), uint64(in.Imm)
+	case isa.OpJmp, isa.OpCall:
+		return true, uint64(in.Imm)
+	case isa.OpRet, isa.OpCallR:
+		return true, rs1
+	case isa.OpJr:
+		return true, rs1 + uint64(in.Imm)
+	}
+	panic("emu: BranchOutcome on non-branch")
+}
+
+// EffAddr returns the effective address of a load or store.
+func EffAddr(in *isa.Inst, rs1 uint64) uint64 { return rs1 + uint64(in.Imm) }

@@ -1,0 +1,136 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"teasim/internal/asm"
+	"teasim/internal/isa"
+)
+
+// TestOpcodeSemantics is a table-driven check of every two-source ALU/FP
+// opcode against its reference semantics on hand-picked edge values.
+func TestOpcodeSemantics(t *testing.T) {
+	f := math.Float64bits
+	cases := []struct {
+		op   isa.Op
+		a, b uint64
+		want uint64
+	}{
+		{isa.OpAdd, ^uint64(0), 1, 0}, // wraparound
+		{isa.OpSub, 0, 1, ^uint64(0)},
+		{isa.OpAnd, 0xF0F0, 0x0FF0, 0x00F0},
+		{isa.OpOr, 0xF000, 0x000F, 0xF00F},
+		{isa.OpXor, 0xFFFF, 0x0F0F, 0xF0F0},
+		{isa.OpShl, 1, 63, 1 << 63},
+		{isa.OpShl, 1, 64, 1}, // shift amount masked to 6 bits
+		{isa.OpShr, 1 << 63, 63, 1},
+		{isa.OpSar, 1 << 63, 63, ^uint64(0)},               // sign fill
+		{isa.OpMul, 1 << 32, 1 << 32, 0},                   // low 64 bits
+		{isa.OpDiv, uint64(^uint64(6) + 1), 2, ^uint64(2)}, // -6/2 = -3
+		{isa.OpDiv, 7, 0, 0},                               // div-by-zero defined as 0
+		{isa.OpRem, uint64(^uint64(6)), 2, ^uint64(0)},     // -7%2 = -1
+		{isa.OpRem, 7, 0, 7},
+		{isa.OpSlt, ^uint64(0), 0, 1},  // -1 < 0 signed
+		{isa.OpSltu, ^uint64(0), 0, 0}, // max-uint not < 0 unsigned
+		{isa.OpMin, ^uint64(0), 5, ^uint64(0)},
+		{isa.OpMax, ^uint64(0), 5, 5},
+		{isa.OpFAdd, f(1.5), f(2.25), f(3.75)},
+		{isa.OpFSub, f(1.0), f(0.25), f(0.75)},
+		{isa.OpFMul, f(3.0), f(-2.0), f(-6.0)},
+		{isa.OpFDiv, f(1.0), f(0.0), f(math.Inf(1))},
+		{isa.OpFLt, f(-1.0), f(1.0), 1},
+		{isa.OpFLt, f(math.NaN()), f(1.0), 0}, // NaN compares false
+	}
+	for _, c := range cases {
+		in := &isa.Inst{Op: c.op, Rd: isa.R3, Rs1: isa.R1, Rs2: isa.R2}
+		got, ok := Eval(in, c.a, c.b, 0)
+		if !ok {
+			t.Fatalf("%v: Eval not applicable", c.op)
+		}
+		if got != c.want {
+			t.Errorf("%v(%#x, %#x) = %#x, want %#x", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestImmediateOpcodeSemantics covers the immediate forms and conversions.
+func TestImmediateOpcodeSemantics(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a    uint64
+		imm  int64
+		want uint64
+	}{
+		{isa.OpAddI, 10, -3, 7},
+		{isa.OpAndI, 0xFF, 0x0F, 0x0F},
+		{isa.OpOrI, 0xF0, 0x0F, 0xFF},
+		{isa.OpXorI, 0xFF, -1, ^uint64(0xFF)},
+		{isa.OpShlI, 3, 2, 12},
+		{isa.OpShrI, 12, 2, 3},
+		{isa.OpMulI, 7, -2, ^uint64(13) + 0}, // -14
+		{isa.OpSltI, 5, 6, 1},
+		{isa.OpSltuI, 5, 6, 1},
+		{isa.OpLi, 0, -42, ^uint64(41)},
+		{isa.OpFCvt, ^uint64(0), 0, math.Float64bits(-1.0)},
+		{isa.OpFInt, math.Float64bits(-2.9), 0, ^uint64(1)}, // trunc toward zero
+	}
+	for _, c := range cases {
+		in := &isa.Inst{Op: c.op, Rd: isa.R3, Rs1: isa.R1, Imm: c.imm}
+		got, ok := Eval(in, c.a, 0, 0)
+		if !ok {
+			t.Fatalf("%v: Eval not applicable", c.op)
+		}
+		if got != c.want {
+			t.Errorf("%v(%#x, imm %d) = %#x, want %#x", c.op, c.a, c.imm, got, c.want)
+		}
+	}
+}
+
+// TestCallReturnsLinkValue: call-class ops produce PC+4 as their result.
+func TestCallReturnsLinkValue(t *testing.T) {
+	for _, op := range []isa.Op{isa.OpCall, isa.OpCallR} {
+		in := &isa.Inst{Op: op, Rd: isa.LR, Rs1: isa.R5, Imm: 0x4000}
+		got, ok := Eval(in, 0x9999, 0, 0x1000)
+		if !ok || got != 0x1004 {
+			t.Fatalf("%v link = %#x ok=%v", op, got, ok)
+		}
+	}
+}
+
+// TestRunLimit: Run stops at the instruction budget.
+func TestRunLimit(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("main")
+	b.Label("spin")
+	b.AddI(isa.R1, isa.R1, 1)
+	b.Jmp("spin")
+	m := New(b.MustBuild())
+	n, err := m.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 || m.Halted {
+		t.Fatalf("ran %d, halted=%v", n, m.Halted)
+	}
+}
+
+// TestPCOutOfRange: leaving the code segment is a reported error, not a
+// panic.
+func TestPCOutOfRange(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Li(isa.R1, 0x99999999)
+	b.Jr(isa.R1, 0)
+	m := New(b.MustBuild())
+	if _, err := m.Run(10); err == nil {
+		t.Fatal("expected error for wild jump")
+	}
+}
+
+// TestEffAddr covers the effective-address helper.
+func TestEffAddr(t *testing.T) {
+	in := &isa.Inst{Op: isa.OpLd, Rs1: isa.R1, Imm: -8}
+	if got := EffAddr(in, 0x1000); got != 0xFF8 {
+		t.Fatalf("EffAddr = %#x", got)
+	}
+}

@@ -1,0 +1,356 @@
+// Package isa defines the µISA executed by the simulator: a fixed-length,
+// RISC-like instruction set with 32 general-purpose registers, compare-and-
+// branch control flow, and 64-bit flat addressing.
+//
+// Every instruction occupies 4 bytes of the code address space, so a 128-byte
+// fetch block holds 32 instructions — matching the paper's decoupled branch
+// predictor throughput of "up to 128B or ~32 instructions per cycle".
+// One instruction is one micro-op (the paper's footnote 2 notes that
+// instruction granularity suffices for fixed-length ISAs).
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. R0 is hardwired to zero.
+type Reg uint8
+
+// Architectural register conventions. SP and LR are software conventions
+// used by the assembler's call/ret helpers; the hardware treats them as
+// ordinary registers (except R0, which always reads zero).
+const (
+	R0 Reg = iota // always zero
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	SP // R30: stack pointer by convention
+	LR // R31: link register (written by CALL, read by RET)
+
+	// NumRegs is the number of architectural registers.
+	NumRegs = 32
+)
+
+// InstBytes is the size of one encoded instruction in the code address space.
+const InstBytes = 4
+
+// Op is a µISA opcode.
+type Op uint8
+
+// Opcodes. Grouped by execution class; see Inst for operand meanings.
+const (
+	OpNop Op = iota
+	OpHalt
+
+	// ALU register-register: Rd = Rs1 <op> Rs2.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpShl  // logical left shift by Rs2&63
+	OpShr  // logical right shift by Rs2&63
+	OpSar  // arithmetic right shift by Rs2&63
+	OpMul  // low 64 bits
+	OpDiv  // signed; x/0 = 0 (architecturally defined, no trap)
+	OpRem  // signed; x%0 = x
+	OpSltu // Rd = (Rs1 <u Rs2) ? 1 : 0
+	OpSlt  // Rd = (Rs1 <s Rs2) ? 1 : 0
+	OpMin  // signed minimum
+	OpMax  // signed maximum
+
+	// ALU register-immediate: Rd = Rs1 <op> Imm.
+	OpAddI
+	OpAndI
+	OpOrI
+	OpXorI
+	OpShlI
+	OpShrI
+	OpMulI
+	OpSltI  // Rd = (Rs1 <s Imm) ? 1 : 0
+	OpSltuI // Rd = (Rs1 <u Imm) ? 1 : 0
+	OpLi    // Rd = Imm (64-bit immediate load)
+
+	// Floating point. Register bits are reinterpreted as float64.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFLt  // Rd = (f(Rs1) < f(Rs2)) ? 1 : 0 (integer result)
+	OpFCvt // Rd = float64(int64(Rs1)) as bits
+	OpFInt // Rd = int64(f(Rs1))
+
+	// Memory. Address = Rs1 + Imm. Loads zero-extend.
+	OpLd  // 8-byte load into Rd
+	OpLd4 // 4-byte load into Rd
+	OpLd1 // 1-byte load into Rd
+	OpSt  // 8-byte store of Rs2
+	OpSt4 // 4-byte store of Rs2
+	OpSt1 // 1-byte store of Rs2
+
+	// Conditional branches: if (Rs1 <cond> Rs2) PC = Imm (absolute target).
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+
+	// Unconditional control flow.
+	OpJmp   // PC = Imm
+	OpCall  // LR-equivalent: Rd (conventionally LR) = PC+4; PC = Imm
+	OpRet   // PC = Rs1 (conventionally LR); paired with RAS
+	OpJr    // PC = Rs1 + Imm (indirect jump, e.g. switch tables)
+	OpCallR // Rd = PC+4; PC = Rs1 (indirect call)
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpHalt: "halt",
+	OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpSar: "sar", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpSltu: "sltu", OpSlt: "slt", OpMin: "min", OpMax: "max",
+	OpAddI: "addi", OpAndI: "andi", OpOrI: "ori", OpXorI: "xori",
+	OpShlI: "shli", OpShrI: "shri", OpMulI: "muli", OpSltI: "slti",
+	OpSltuI: "sltui", OpLi: "li",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFLt: "flt", OpFCvt: "fcvt", OpFInt: "fint",
+	OpLd: "ld", OpLd4: "ld4", OpLd1: "ld1",
+	OpSt: "st", OpSt4: "st4", OpSt1: "st1",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJmp: "jmp", OpCall: "call", OpRet: "ret", OpJr: "jr", OpCallR: "callr",
+}
+
+// String returns the mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Inst is one decoded µISA instruction. The simulator stores programs as
+// []Inst; the instruction at code address A is Code[(A-CodeBase)/InstBytes].
+type Inst struct {
+	Op  Op
+	Rd  Reg   // destination register (0 = no destination for most classes)
+	Rs1 Reg   // first source
+	Rs2 Reg   // second source (also store data register)
+	Imm int64 // immediate / absolute branch target / address offset
+}
+
+// Class is a coarse execution class used for port binding and latency.
+type Class uint8
+
+// Execution classes.
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassMul
+	ClassDiv
+	ClassFP
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // unconditional control flow (direct and indirect)
+	ClassHalt
+)
+
+// Class returns the execution class of the instruction.
+func (in *Inst) Class() Class {
+	switch in.Op {
+	case OpNop:
+		return ClassNop
+	case OpHalt:
+		return ClassHalt
+	case OpMul, OpMulI:
+		return ClassMul
+	case OpDiv, OpRem:
+		return ClassDiv
+	case OpFAdd, OpFSub, OpFMul, OpFDiv, OpFLt, OpFCvt, OpFInt:
+		return ClassFP
+	case OpLd, OpLd4, OpLd1:
+		return ClassLoad
+	case OpSt, OpSt4, OpSt1:
+		return ClassStore
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return ClassBranch
+	case OpJmp, OpCall, OpRet, OpJr, OpCallR:
+		return ClassJump
+	default:
+		return ClassALU
+	}
+}
+
+// IsBranch reports whether the instruction can redirect control flow.
+func (in *Inst) IsBranch() bool {
+	c := in.Class()
+	return c == ClassBranch || c == ClassJump
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in *Inst) IsCondBranch() bool { return in.Class() == ClassBranch }
+
+// IsIndirect reports whether the branch target comes from a register.
+func (in *Inst) IsIndirect() bool {
+	switch in.Op {
+	case OpRet, OpJr, OpCallR:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the instruction pushes a return address.
+func (in *Inst) IsCall() bool { return in.Op == OpCall || in.Op == OpCallR }
+
+// IsReturn reports whether the instruction pops the return-address stack.
+func (in *Inst) IsReturn() bool { return in.Op == OpRet }
+
+// IsLoad reports whether the instruction reads memory.
+func (in *Inst) IsLoad() bool { return in.Class() == ClassLoad }
+
+// IsStore reports whether the instruction writes memory.
+func (in *Inst) IsStore() bool { return in.Class() == ClassStore }
+
+// MemBytes returns the access size in bytes for loads/stores, else 0.
+func (in *Inst) MemBytes() int {
+	switch in.Op {
+	case OpLd, OpSt:
+		return 8
+	case OpLd4, OpSt4:
+		return 4
+	case OpLd1, OpSt1:
+		return 1
+	}
+	return 0
+}
+
+// HasDest reports whether the instruction writes a register. R0 writes are
+// architecturally discarded but still reported here; renaming handles R0.
+func (in *Inst) HasDest() bool {
+	switch in.Class() {
+	case ClassNop, ClassHalt, ClassStore, ClassBranch:
+		return false
+	case ClassJump:
+		return in.Op == OpCall || in.Op == OpCallR
+	}
+	return true
+}
+
+// Srcs appends the source registers of the instruction to dst and returns
+// it. R0 is included (it reads as zero but participates in dependence
+// tracking uniformly; consumers may skip it).
+func (in *Inst) Srcs(dst []Reg) []Reg {
+	switch in.Op {
+	case OpNop, OpHalt, OpLi, OpJmp, OpCall:
+		return dst
+	case OpAddI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpMulI, OpSltI,
+		OpSltuI, OpFCvt, OpFInt, OpLd, OpLd4, OpLd1, OpRet, OpJr, OpCallR:
+		return append(dst, in.Rs1)
+	case OpSt, OpSt4, OpSt1:
+		return append(dst, in.Rs1, in.Rs2)
+	default:
+		return append(dst, in.Rs1, in.Rs2)
+	}
+}
+
+// String disassembles the instruction.
+func (in *Inst) String() string {
+	switch in.Class() {
+	case ClassNop, ClassHalt:
+		return in.Op.String()
+	case ClassBranch:
+		return fmt.Sprintf("%s r%d, r%d, 0x%x", in.Op, in.Rs1, in.Rs2, uint64(in.Imm))
+	case ClassStore:
+		return fmt.Sprintf("%s [r%d%+d], r%d", in.Op, in.Rs1, in.Imm, in.Rs2)
+	case ClassLoad:
+		return fmt.Sprintf("%s r%d, [r%d%+d]", in.Op, in.Rd, in.Rs1, in.Imm)
+	case ClassJump:
+		switch in.Op {
+		case OpJmp:
+			return fmt.Sprintf("jmp 0x%x", uint64(in.Imm))
+		case OpCall:
+			return fmt.Sprintf("call 0x%x", uint64(in.Imm))
+		case OpRet:
+			return fmt.Sprintf("ret r%d", in.Rs1)
+		case OpJr:
+			return fmt.Sprintf("jr r%d%+d", in.Rs1, in.Imm)
+		case OpCallR:
+			return fmt.Sprintf("callr r%d", in.Rs1)
+		}
+	}
+	switch in.Op {
+	case OpLi:
+		return fmt.Sprintf("li r%d, %d", in.Rd, in.Imm)
+	case OpAddI, OpAndI, OpOrI, OpXorI, OpShlI, OpShrI, OpMulI, OpSltI, OpSltuI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case OpFCvt, OpFInt:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Rd, in.Rs1)
+	}
+	return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+}
+
+// Program is a complete executable image: code plus initial data.
+type Program struct {
+	// Code is the instruction array. The instruction at address
+	// CodeBase + i*InstBytes is Code[i].
+	Code []Inst
+	// CodeBase is the address of Code[0].
+	CodeBase uint64
+	// Entry is the initial PC.
+	Entry uint64
+	// Data holds initial memory contents keyed by address ranges.
+	Data []DataSeg
+	// Labels maps symbolic names to code addresses (for diagnostics).
+	Labels map[string]uint64
+}
+
+// DataSeg is a contiguous chunk of initialized memory.
+type DataSeg struct {
+	Addr  uint64
+	Bytes []byte
+}
+
+// InstAt returns the instruction at code address pc, or nil if pc is outside
+// the code segment or misaligned.
+func (p *Program) InstAt(pc uint64) *Inst {
+	if pc < p.CodeBase || (pc-p.CodeBase)%InstBytes != 0 {
+		return nil
+	}
+	idx := (pc - p.CodeBase) / InstBytes
+	if idx >= uint64(len(p.Code)) {
+		return nil
+	}
+	return &p.Code[idx]
+}
+
+// CodeEnd returns the first address past the code segment.
+func (p *Program) CodeEnd() uint64 {
+	return p.CodeBase + uint64(len(p.Code))*InstBytes
+}

@@ -1,0 +1,144 @@
+package isa
+
+import "testing"
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		cls  Class
+		br   bool
+		cond bool
+		ind  bool
+	}{
+		{Inst{Op: OpAdd}, ClassALU, false, false, false},
+		{Inst{Op: OpMul}, ClassMul, false, false, false},
+		{Inst{Op: OpDiv}, ClassDiv, false, false, false},
+		{Inst{Op: OpFAdd}, ClassFP, false, false, false},
+		{Inst{Op: OpLd}, ClassLoad, false, false, false},
+		{Inst{Op: OpSt}, ClassStore, false, false, false},
+		{Inst{Op: OpBeq}, ClassBranch, true, true, false},
+		{Inst{Op: OpJmp}, ClassJump, true, false, false},
+		{Inst{Op: OpRet}, ClassJump, true, false, true},
+		{Inst{Op: OpJr}, ClassJump, true, false, true},
+		{Inst{Op: OpCallR}, ClassJump, true, false, true},
+		{Inst{Op: OpCall}, ClassJump, true, false, false},
+		{Inst{Op: OpHalt}, ClassHalt, false, false, false},
+		{Inst{Op: OpNop}, ClassNop, false, false, false},
+	}
+	for _, c := range cases {
+		if got := c.in.Class(); got != c.cls {
+			t.Errorf("%v: Class=%v want %v", c.in.Op, got, c.cls)
+		}
+		if got := c.in.IsBranch(); got != c.br {
+			t.Errorf("%v: IsBranch=%v want %v", c.in.Op, got, c.br)
+		}
+		if got := c.in.IsCondBranch(); got != c.cond {
+			t.Errorf("%v: IsCondBranch=%v want %v", c.in.Op, got, c.cond)
+		}
+		if got := c.in.IsIndirect(); got != c.ind {
+			t.Errorf("%v: IsIndirect=%v want %v", c.in.Op, got, c.ind)
+		}
+	}
+}
+
+func TestMemBytes(t *testing.T) {
+	for _, c := range []struct {
+		op Op
+		n  int
+	}{
+		{OpLd, 8}, {OpLd4, 4}, {OpLd1, 1},
+		{OpSt, 8}, {OpSt4, 4}, {OpSt1, 1},
+		{OpAdd, 0}, {OpBeq, 0},
+	} {
+		in := Inst{Op: c.op}
+		if got := in.MemBytes(); got != c.n {
+			t.Errorf("%v: MemBytes=%d want %d", c.op, got, c.n)
+		}
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	for _, c := range []struct {
+		op  Op
+		has bool
+	}{
+		{OpAdd, true}, {OpLi, true}, {OpLd, true}, {OpFAdd, true},
+		{OpCall, true}, {OpCallR, true},
+		{OpSt, false}, {OpBeq, false}, {OpJmp, false}, {OpRet, false},
+		{OpJr, false}, {OpNop, false}, {OpHalt, false},
+	} {
+		in := Inst{Op: c.op}
+		if got := in.HasDest(); got != c.has {
+			t.Errorf("%v: HasDest=%v want %v", c.op, got, c.has)
+		}
+	}
+}
+
+func TestSrcs(t *testing.T) {
+	cases := []struct {
+		in Inst
+		n  int
+	}{
+		{Inst{Op: OpAdd, Rs1: R1, Rs2: R2}, 2},
+		{Inst{Op: OpAddI, Rs1: R1}, 1},
+		{Inst{Op: OpLi}, 0},
+		{Inst{Op: OpLd, Rs1: R3}, 1},
+		{Inst{Op: OpSt, Rs1: R3, Rs2: R4}, 2},
+		{Inst{Op: OpBeq, Rs1: R1, Rs2: R2}, 2},
+		{Inst{Op: OpJmp}, 0},
+		{Inst{Op: OpCall}, 0},
+		{Inst{Op: OpRet, Rs1: LR}, 1},
+		{Inst{Op: OpJr, Rs1: R5}, 1},
+		{Inst{Op: OpHalt}, 0},
+	}
+	for _, c := range cases {
+		got := c.in.Srcs(nil)
+		if len(got) != c.n {
+			t.Errorf("%v: Srcs len=%d want %d", c.in.Op, len(got), c.n)
+		}
+	}
+}
+
+func TestProgramInstAt(t *testing.T) {
+	p := &Program{
+		Code:     []Inst{{Op: OpLi, Rd: R1, Imm: 7}, {Op: OpHalt}},
+		CodeBase: 0x1000,
+	}
+	if in := p.InstAt(0x1000); in == nil || in.Op != OpLi {
+		t.Fatalf("InstAt(0x1000) = %v", in)
+	}
+	if in := p.InstAt(0x1004); in == nil || in.Op != OpHalt {
+		t.Fatalf("InstAt(0x1004) = %v", in)
+	}
+	if in := p.InstAt(0x1008); in != nil {
+		t.Fatalf("InstAt past end = %v, want nil", in)
+	}
+	if in := p.InstAt(0x1002); in != nil {
+		t.Fatalf("InstAt misaligned = %v, want nil", in)
+	}
+	if in := p.InstAt(0xfff); in != nil {
+		t.Fatalf("InstAt below base = %v, want nil", in)
+	}
+	if got := p.CodeEnd(); got != 0x1008 {
+		t.Fatalf("CodeEnd = %#x, want 0x1008", got)
+	}
+}
+
+func TestStringMnemonics(t *testing.T) {
+	// Every opcode must have a distinct, non-placeholder mnemonic.
+	seen := map[string]Op{}
+	for op := OpNop; op < numOps; op++ {
+		s := op.String()
+		if s == "" || s[0] == 'o' && len(s) > 3 && s[:3] == "op(" {
+			t.Errorf("opcode %d has placeholder name %q", op, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("mnemonic %q reused by %d and %d", s, prev, op)
+		}
+		seen[s] = op
+	}
+	in := Inst{Op: OpBeq, Rs1: R1, Rs2: R2, Imm: 0x40}
+	if got := in.String(); got != "beq r1, r2, 0x40" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,163 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// allOps enumerates every defined opcode.
+func allOps() []Op {
+	ops := make([]Op, 0, int(numOps))
+	for op := Op(0); op < numOps; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// TestOpcodeInvariantsExhaustive checks structural invariants that must hold
+// for every opcode, not just the sampled ones in TestClassification.
+func TestOpcodeInvariantsExhaustive(t *testing.T) {
+	for _, op := range allOps() {
+		in := Inst{Op: op, Rd: R3, Rs1: R4, Rs2: R5, Imm: 0x1000}
+
+		// Mnemonics are unique and non-empty.
+		if s := op.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+
+		// Memory size agrees with load/store classification.
+		if (in.MemBytes() > 0) != (in.IsLoad() || in.IsStore()) {
+			t.Errorf("%v: MemBytes=%d but IsLoad=%v IsStore=%v",
+				op, in.MemBytes(), in.IsLoad(), in.IsStore())
+		}
+
+		// Conditional branches are branches; indirect flow is a jump.
+		if in.IsCondBranch() && !in.IsBranch() {
+			t.Errorf("%v: IsCondBranch without IsBranch", op)
+		}
+		if in.IsIndirect() && in.Class() != ClassJump {
+			t.Errorf("%v: IsIndirect but class %v", op, in.Class())
+		}
+		if in.IsCall() && in.Class() != ClassJump {
+			t.Errorf("%v: IsCall but class %v", op, in.Class())
+		}
+		if in.IsReturn() && !in.IsIndirect() {
+			t.Errorf("%v: IsReturn but not indirect", op)
+		}
+
+		// Stores, conditional branches, nop/halt never write a register.
+		switch in.Class() {
+		case ClassStore, ClassBranch, ClassNop, ClassHalt:
+			if in.HasDest() {
+				t.Errorf("%v: HasDest true for class %v", op, in.Class())
+			}
+		}
+
+		// Srcs appends (never reallocates a prefix away) and stays ≤2.
+		pre := []Reg{LR}
+		got := in.Srcs(pre)
+		if len(got) < 1 || got[0] != LR {
+			t.Errorf("%v: Srcs clobbered the prefix", op)
+		}
+		if n := len(got) - 1; n > 2 {
+			t.Errorf("%v: %d sources", op, n)
+		}
+
+		// Stores read exactly address base + data registers.
+		if in.IsStore() {
+			if n := len(in.Srcs(nil)); n != 2 {
+				t.Errorf("%v: store has %d sources, want 2", op, n)
+			}
+		}
+		// Loads read exactly the address base.
+		if in.IsLoad() {
+			if n := len(in.Srcs(nil)); n != 1 {
+				t.Errorf("%v: load has %d sources, want 1", op, n)
+			}
+		}
+
+		// String never panics and mentions the mnemonic.
+		if s := in.String(); !strings.Contains(s, op.String()) {
+			t.Errorf("%v: disassembly %q missing mnemonic", op, s)
+		}
+	}
+}
+
+// TestInstAtProperty: InstAt returns non-nil exactly for aligned addresses
+// inside the code segment, and the returned pointer identifies the right
+// instruction.
+func TestInstAtProperty(t *testing.T) {
+	p := &Program{CodeBase: 0x10000, Code: make([]Inst, 100)}
+	for i := range p.Code {
+		p.Code[i] = Inst{Op: OpAddI, Rd: R1, Rs1: R1, Imm: int64(i)}
+	}
+	f := func(raw uint64) bool {
+		// Bias half the samples into the interesting window around the
+		// segment; leave the rest fully random.
+		pc := raw
+		if raw%2 == 0 {
+			pc = p.CodeBase - 64 + raw%(uint64(len(p.Code))*InstBytes+128)
+		}
+		in := p.InstAt(pc)
+		inSeg := pc >= p.CodeBase && pc < p.CodeEnd() && (pc-p.CodeBase)%InstBytes == 0
+		if (in != nil) != inSeg {
+			return false
+		}
+		if in != nil && in.Imm != int64((pc-p.CodeBase)/InstBytes) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodeEndEmpty covers the degenerate empty program.
+func TestCodeEndEmpty(t *testing.T) {
+	p := &Program{CodeBase: 0x4000}
+	if p.CodeEnd() != 0x4000 {
+		t.Fatalf("CodeEnd=%#x", p.CodeEnd())
+	}
+	if p.InstAt(0x4000) != nil {
+		t.Fatal("InstAt on empty program")
+	}
+}
+
+// TestSrcsNeverIncludeDest: for every opcode with a destination, the
+// destination register is not reported as a source (the µISA has no
+// read-modify-write encodings; rename relies on this).
+func TestSrcsNeverIncludeDest(t *testing.T) {
+	for _, op := range allOps() {
+		in := Inst{Op: op, Rd: R7, Rs1: R8, Rs2: R9}
+		if !in.HasDest() {
+			continue
+		}
+		for _, s := range in.Srcs(nil) {
+			if s == in.Rd {
+				t.Errorf("%v: dest r%d also listed as source", op, in.Rd)
+			}
+		}
+	}
+}
+
+// TestDisassemblyStable: random instructions disassemble deterministically
+// and non-emptily (fuzz against formatting panics on weird operand values).
+func TestDisassemblyStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		in := Inst{
+			Op:  Op(rng.Intn(int(numOps))),
+			Rd:  Reg(rng.Intn(NumRegs)),
+			Rs1: Reg(rng.Intn(NumRegs)),
+			Rs2: Reg(rng.Intn(NumRegs)),
+			Imm: rng.Int63() - rng.Int63(),
+		}
+		a, b := in.String(), in.String()
+		if a == "" || a != b {
+			t.Fatalf("unstable disassembly for %+v: %q vs %q", in, a, b)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package mem
+
+// Simplified DDR4-2400R main-memory model in the spirit of Ramulator
+// (Table I: 1 rank, 2 channels, 4 bank groups × 4 banks per channel,
+// tRP-tCL-tRCD = 16-16-16). The model tracks per-bank open rows and
+// busy-until times plus per-channel data-bus occupancy, producing realistic
+// row-hit / row-miss / row-conflict latencies and bank-level parallelism.
+
+const (
+	dramChannels = 2
+	dramBanks    = 16 // 4 bank groups × 4 banks per channel
+	colBits      = 7  // 128 columns of 64B per row → 8KB rows
+	coreClockMHz = 3200
+	dramClockMHz = 1200
+	tRP          = 16 // DRAM cycles
+	tRCD         = 16
+	tCL          = 16
+	tBurst       = 4  // BL8 on a 64-bit bus = 4 DRAM cycles per 64B line
+	ctrlOverhead = 20 // core cycles: queueing/controller/NoC overhead each way
+)
+
+// dramCycles converts DRAM cycles to core cycles (rounded up).
+func dramCycles(n uint64) uint64 {
+	return (n*coreClockMHz + dramClockMHz - 1) / dramClockMHz
+}
+
+type dramBank struct {
+	rowOpen bool
+	row     uint64
+	readyAt uint64 // core cycle when the bank can accept a new command
+}
+
+// DRAM is the main-memory timing model.
+type DRAM struct {
+	banks   [dramChannels][dramBanks]dramBank
+	busFree [dramChannels]uint64 // data-bus availability per channel
+
+	// Statistics.
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64
+	RowConflicts uint64
+}
+
+// mapAddr splits a line address into channel, bank, and row. Lines
+// interleave across channels then banks so sequential streams exploit
+// bank-level parallelism.
+func mapAddr(line uint64) (ch, bank int, row uint64) {
+	blk := line / LineBytes
+	ch = int(blk % dramChannels)
+	blk /= dramChannels
+	bank = int(blk % dramBanks)
+	blk /= dramBanks
+	row = blk >> colBits
+	return
+}
+
+// Access models one 64B line transfer starting no earlier than core cycle
+// `start` and returns the completion cycle.
+func (d *DRAM) Access(start uint64, line uint64, write bool) uint64 {
+	ch, bank, row := mapAddr(line)
+	b := &d.banks[ch][bank]
+
+	t := start + ctrlOverhead
+	if b.readyAt > t {
+		t = b.readyAt
+	}
+
+	var lat uint64
+	switch {
+	case b.rowOpen && b.row == row:
+		d.RowHits++
+		lat = dramCycles(tCL)
+	case !b.rowOpen:
+		d.RowMisses++
+		lat = dramCycles(tRCD + tCL)
+	default:
+		d.RowConflicts++
+		lat = dramCycles(tRP + tRCD + tCL)
+	}
+	b.rowOpen, b.row = true, row
+
+	dataStart := t + lat
+	if d.busFree[ch] > dataStart {
+		dataStart = d.busFree[ch]
+	}
+	done := dataStart + dramCycles(tBurst)
+	d.busFree[ch] = done
+	b.readyAt = done
+
+	if write {
+		d.Writes++
+		// Writes complete from the requester's perspective at enqueue; the
+		// bank stays busy (already modelled via readyAt).
+		return start + ctrlOverhead
+	}
+	d.Reads++
+	return done + ctrlOverhead
+}

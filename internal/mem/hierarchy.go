@@ -1,0 +1,152 @@
+package mem
+
+// Hierarchy ties the caches and DRAM together: split L1I/L1D, a shared LLC,
+// and the DDR4 model (Table I geometry by default). Accesses compute their
+// completion cycle at issue; lines mid-fill act as MSHR entries, so
+// secondary misses merge onto the outstanding fill.
+
+// HierarchyConfig sets the cache geometry.
+type HierarchyConfig struct {
+	L1ISize, L1IWays  int
+	L1DSize, L1DWays  int
+	LLCSize, LLCWays  int
+	L1Lat, LLCLat     uint64
+	L1MSHRs, LLCMSHRs int
+}
+
+// DefaultHierarchyConfig returns the Table I memory system.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1ISize: 32 << 10, L1IWays: 8,
+		L1DSize: 48 << 10, L1DWays: 12,
+		LLCSize: 1 << 20, LLCWays: 16,
+		L1Lat: 4, LLCLat: 18,
+		L1MSHRs: 16, LLCMSHRs: 32,
+	}
+}
+
+// Hierarchy is the full memory system timing model.
+type Hierarchy struct {
+	L1I  *Cache
+	L1D  *Cache
+	LLC  *Cache
+	DRAM *DRAM
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1I:  NewCache("L1I", cfg.L1ISize, cfg.L1IWays, cfg.L1Lat, cfg.L1MSHRs),
+		L1D:  NewCache("L1D", cfg.L1DSize, cfg.L1DWays, cfg.L1Lat, cfg.L1MSHRs),
+		LLC:  NewCache("LLC", cfg.LLCSize, cfg.LLCWays, cfg.LLCLat, cfg.LLCMSHRs),
+		DRAM: &DRAM{},
+	}
+}
+
+// access performs a load-type access through l1 → LLC → DRAM. ok=false means
+// the access could not be accepted this cycle (L1 MSHRs full) and must retry.
+func (h *Hierarchy) access(l1 *Cache, addr uint64, now uint64, dirty bool) (AccessResult, bool) {
+	line := LineOf(addr)
+	l1.Accesses++
+
+	if l := l1.lookup(line); l != nil {
+		l1.touch(l)
+		if dirty {
+			l.dirty = true
+		}
+		ready := now + l1.hitLat
+		if l.readyAt > now {
+			// Hit on a line still being filled: merge with the fill.
+			ready = l.readyAt
+		}
+		return AccessResult{ReadyAt: ready, HitL1: true}, true
+	}
+
+	// L1 miss.
+	if !l1.mshrAvailable(now) {
+		return AccessResult{}, false
+	}
+	l1.Misses++
+	res := AccessResult{}
+
+	// LLC lookup.
+	h.LLC.Accesses++
+	var fillReady uint64
+	if l := h.LLC.lookup(line); l != nil {
+		h.LLC.touch(l)
+		fillReady = now + l1.hitLat + h.LLC.hitLat
+		if l.readyAt > now && l.readyAt+l1.hitLat > fillReady {
+			fillReady = l.readyAt + l1.hitLat
+		}
+		res.HitLLC = true
+	} else {
+		h.LLC.Misses++
+		if !h.LLC.mshrAvailable(now) {
+			return AccessResult{}, false
+		}
+		dramDone := h.DRAM.Access(now+l1.hitLat+h.LLC.hitLat, line, false)
+		fillReady = dramDone
+		res.DRAM = true
+		h.installLLC(line, dramDone, now)
+		h.LLC.noteFill(dramDone)
+	}
+
+	h.installL1(l1, line, fillReady, now, dirty)
+	l1.noteFill(fillReady)
+	res.ReadyAt = fillReady
+	return res, true
+}
+
+// installL1 places line into l1, writing back a dirty victim.
+func (h *Hierarchy) installL1(l1 *Cache, line uint64, readyAt uint64, now uint64, dirty bool) {
+	v := l1.victim(line, now)
+	if v.valid && v.dirty {
+		h.writeback(v.tag, now)
+	}
+	*v = cacheLine{valid: true, dirty: dirty, tag: line, readyAt: readyAt}
+	l1.touch(v)
+}
+
+// installLLC places line into the LLC, writing back a dirty victim to DRAM.
+func (h *Hierarchy) installLLC(line uint64, readyAt uint64, now uint64) {
+	v := h.LLC.victim(line, now)
+	if v.valid && v.dirty {
+		h.DRAM.Access(now, v.tag, true)
+	}
+	*v = cacheLine{valid: true, tag: line, readyAt: readyAt}
+	h.LLC.touch(v)
+}
+
+// writeback moves a dirty L1 line down to the LLC (allocating if absent).
+func (h *Hierarchy) writeback(line uint64, now uint64) {
+	if l := h.LLC.lookup(line); l != nil {
+		l.dirty = true
+		h.LLC.touch(l)
+		return
+	}
+	// Non-inclusive victim fill: install without a timing penalty for the
+	// requester (writeback bandwidth is not the bottleneck we study).
+	v := h.LLC.victim(line, now)
+	if v.valid && v.dirty {
+		h.DRAM.Access(now, v.tag, true)
+	}
+	*v = cacheLine{valid: true, dirty: true, tag: line, readyAt: now}
+	h.LLC.touch(v)
+}
+
+// Load performs a data load. ok=false means retry next cycle (MSHRs full).
+func (h *Hierarchy) Load(addr uint64, now uint64) (AccessResult, bool) {
+	return h.access(h.L1D, addr, now, false)
+}
+
+// Fetch performs an instruction fetch for the line containing addr.
+func (h *Hierarchy) Fetch(addr uint64, now uint64) (AccessResult, bool) {
+	return h.access(h.L1I, addr, now, false)
+}
+
+// StoreCommit writes a retiring store into the L1D (write-allocate,
+// writeback). ok=false means retry (MSHRs full). The returned ReadyAt is
+// when the store's line is present (the store-queue entry frees then).
+func (h *Hierarchy) StoreCommit(addr uint64, now uint64) (AccessResult, bool) {
+	return h.access(h.L1D, addr, now, true)
+}

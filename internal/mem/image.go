@@ -1,0 +1,134 @@
+// Package mem provides the simulated memory system: a sparse flat memory
+// image shared by the functional emulator and the timing model, plus the
+// cache hierarchy and DRAM timing model used by the pipeline.
+package mem
+
+import "encoding/binary"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Image is a sparse, flat, little-endian 64-bit memory image. Pages are
+// allocated on first touch; untouched memory reads as zero.
+//
+// Image is not safe for concurrent use; the simulator is single-threaded by
+// design (cycle-by-cycle determinism).
+type Image struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewImage returns an empty memory image.
+func NewImage() *Image {
+	return &Image{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Image) page(addr uint64, alloc bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Byte returns the byte at addr.
+func (m *Image) Byte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// SetByte stores b at addr.
+func (m *Image) SetByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read returns size bytes starting at addr, zero-extended into a uint64.
+// size must be 1, 2, 4, or 8. Accesses may straddle page boundaries.
+func (m *Image) Read(addr uint64, size int) uint64 {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.Byte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr. size must be 1, 2, 4, or 8.
+func (m *Image) Write(addr uint64, v uint64, size int) {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.page(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadU64 reads an 8-byte little-endian word.
+func (m *Image) ReadU64(addr uint64) uint64 { return m.Read(addr, 8) }
+
+// WriteU64 writes an 8-byte little-endian word.
+func (m *Image) WriteU64(addr uint64, v uint64) { m.Write(addr, v, 8) }
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Image) WriteBytes(addr uint64, b []byte) {
+	for len(b) > 0 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		n := copy(p[off:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+}
+
+// Clone returns a deep copy of the image. Used to snapshot the initial state
+// so the timing model and the golden emulator run on independent memories.
+func (m *Image) Clone() *Image {
+	c := NewImage()
+	for pn, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[pn] = cp
+	}
+	return c
+}
+
+// Pages returns the number of allocated 4KB pages (for tests/diagnostics).
+func (m *Image) Pages() int { return len(m.pages) }

@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImageReadWrite(t *testing.T) {
+	m := NewImage()
+	if got := m.Read(0x1234, 8); got != 0 {
+		t.Fatalf("untouched memory = %#x, want 0", got)
+	}
+	m.WriteU64(0x1000, 0x1122334455667788)
+	if got := m.ReadU64(0x1000); got != 0x1122334455667788 {
+		t.Fatalf("ReadU64 = %#x", got)
+	}
+	if got := m.Read(0x1000, 4); got != 0x55667788 {
+		t.Fatalf("low half = %#x", got)
+	}
+	if got := m.Read(0x1004, 4); got != 0x11223344 {
+		t.Fatalf("high half = %#x", got)
+	}
+	if got := m.Read(0x1003, 1); got != 0x55 {
+		t.Fatalf("byte = %#x", got)
+	}
+	m.Write(0x1002, 0xAB, 1)
+	if got := m.ReadU64(0x1000); got != 0x11223344_55AB7788 {
+		t.Fatalf("byte patch = %#x", got)
+	}
+}
+
+func TestImagePageStraddle(t *testing.T) {
+	m := NewImage()
+	addr := uint64(pageSize - 3) // 8-byte access straddles page 0/1
+	m.Write(addr, 0xDEADBEEFCAFEF00D, 8)
+	if got := m.Read(addr, 8); got != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("straddle read = %#x", got)
+	}
+	if m.Pages() != 2 {
+		t.Fatalf("pages = %d, want 2", m.Pages())
+	}
+}
+
+func TestImageWriteBytes(t *testing.T) {
+	m := NewImage()
+	data := make([]byte, 3*pageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	base := uint64(pageSize / 2)
+	m.WriteBytes(base, data)
+	for i, want := range data {
+		if got := m.Byte(base + uint64(i)); got != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestImageClone(t *testing.T) {
+	m := NewImage()
+	m.WriteU64(0x40, 42)
+	c := m.Clone()
+	c.WriteU64(0x40, 99)
+	if got := m.ReadU64(0x40); got != 42 {
+		t.Fatalf("clone aliased original: %d", got)
+	}
+	if got := c.ReadU64(0x40); got != 99 {
+		t.Fatalf("clone write lost: %d", got)
+	}
+}
+
+// Property: for any address and value, a write of a given size followed by a
+// read of the same size returns the value truncated to that size.
+func TestImageRoundTripProperty(t *testing.T) {
+	m := NewImage()
+	sizes := []int{1, 2, 4, 8}
+	f := func(addr uint64, v uint64, szIdx uint8) bool {
+		addr %= 1 << 20 // keep the page map small
+		sz := sizes[int(szIdx)%len(sizes)]
+		m.Write(addr, v, sz)
+		got := m.Read(addr, sz)
+		want := v
+		if sz < 8 {
+			want &= (1 << (8 * sz)) - 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: writes to disjoint byte ranges do not interfere.
+func TestImageDisjointWritesProperty(t *testing.T) {
+	f := func(a uint32, b uint32) bool {
+		m := NewImage()
+		addrA := uint64(a) % (1 << 16)
+		addrB := addrA + 8 + uint64(b)%1024
+		m.Write(addrA, 0x0101010101010101, 8)
+		m.Write(addrB, 0x0202020202020202, 8)
+		return m.Read(addrA, 8) == 0x0101010101010101 &&
+			m.Read(addrB, 8) == 0x0202020202020202
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package pipeline
+
+// Object pools for the high-churn simulator records (uops, branch records,
+// fetch blocks). The simulator allocates several objects per simulated cycle;
+// recycling them keeps the Go GC out of the measurement loop.
+//
+// Recycle discipline (enforced by the call sites):
+//   - a Uop returns to the pool exactly once: at retirement, when a
+//     squashed-but-issued uop drains from the completion ring, or at flush
+//     time for squashed uops that never issued;
+//   - a BranchRec returns when it leaves the in-flight branch queue
+//     (retirement or flush);
+//   - a FetchBlock returns when it leaves the fetch queue.
+//
+// Companions must not retain pointers to these records across calls; they
+// copy the fields they need (the Fill Buffer does exactly that).
+
+type pools struct {
+	uops   []*Uop
+	recs   []*BranchRec
+	blocks []*FetchBlock
+}
+
+func (p *pools) getUop() *Uop {
+	if n := len(p.uops); n > 0 {
+		u := p.uops[n-1]
+		p.uops = p.uops[:n-1]
+		*u = Uop{}
+		return u
+	}
+	return &Uop{}
+}
+
+func (p *pools) putUop(u *Uop) {
+	if u.pooled {
+		return
+	}
+	u.pooled = true
+	p.uops = append(p.uops, u)
+}
+
+func (p *pools) getRec() *BranchRec {
+	if n := len(p.recs); n > 0 {
+		r := p.recs[n-1]
+		p.recs = p.recs[:n-1]
+		*r = BranchRec{}
+		return r
+	}
+	return &BranchRec{}
+}
+
+func (p *pools) putRec(r *BranchRec) {
+	if r.pooled {
+		return
+	}
+	r.pooled = true
+	p.recs = append(p.recs, r)
+}
+
+func (p *pools) getBlock() *FetchBlock {
+	if n := len(p.blocks); n > 0 {
+		b := p.blocks[n-1]
+		p.blocks = p.blocks[:n-1]
+		br := b.Branches[:0]
+		*b = FetchBlock{Branches: br}
+		return b
+	}
+	return &FetchBlock{}
+}
+
+func (p *pools) putBlock(b *FetchBlock) {
+	if b.pooled {
+		return
+	}
+	b.pooled = true
+	p.blocks = append(p.blocks, b)
+}

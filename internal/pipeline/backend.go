@@ -1,0 +1,328 @@
+package pipeline
+
+import (
+	"sort"
+
+	"teasim/internal/emu"
+	"teasim/internal/isa"
+)
+
+// DebugTEA prints the first N uop completions within [DebugSeqLo,
+// DebugSeqHi] (test diagnostics).
+var DebugTEA int
+
+// DebugSeqLo and DebugSeqHi bound the DebugTEA trace window.
+var DebugSeqLo, DebugSeqHi uint64
+
+// completionRing bounds how far in the future a uop may complete. DRAM
+// backlogs stay well under this; exceeding it is a simulator bug.
+const completionRing = 16384
+
+// companionRSTimeout sweeps companion uops that have been waiting in the
+// reservation stations implausibly long (their producer was lost to a flush).
+const companionRSTimeout = 1024
+
+// execute is the select/dispatch stage: it scans the reservation stations
+// for ready uops, binds them to execution ports (TEA-priority, then oldest
+// first), reads operand values, computes results, and schedules writeback.
+func (c *Core) execute() {
+	aluFree := c.Cfg.ALUPorts
+	fpFree := c.Cfg.FPPorts
+	memFree := c.Cfg.LDPorts + c.Cfg.LDSTPorts // load-capable slots
+	stFree := c.Cfg.LDSTPorts                  // store-capable slots
+
+	// Compact away issued/squashed entries, then collect candidates with
+	// ready operands. The RS slice is in insertion (≈age) order; scheduling
+	// priority is TEA-first (paper §IV-E), then oldest-first, implemented as
+	// two passes over the candidate list.
+	live := c.rs[:0]
+	cands := c.cands[:0]
+	for _, u := range c.rs {
+		if !u.InRS {
+			continue
+		}
+		// Companion uops can wait on a register whose producer vanished in a
+		// flush (the shadow RAT is only a snapshot); sweep them out instead
+		// of letting them pin RS entries forever.
+		if u.TEA && c.Cycle-u.FetchCycle > companionRSTimeout {
+			u.Squashed = true
+			u.InRS = false
+			c.rsTEACount--
+			c.comp.UopSquashed(u)
+			continue
+		}
+		live = append(live, u)
+		if !c.PRF.Ready[u.Prs1] || !c.PRF.Ready[u.Prs2] {
+			continue
+		}
+		cands = append(cands, u)
+	}
+	c.rs = live
+	c.cands = cands
+
+	if c.Cfg.CompanionDedicated {
+		// Dedicated engine: companion uops draw from their own execution
+		// slots (any class); loads still contend for cache ports/MSHRs via
+		// the shared hierarchy state.
+		teaFree := c.Cfg.CompanionPorts
+		for _, u := range cands {
+			if !u.TEA || teaFree == 0 {
+				continue
+			}
+			before := teaFree
+			teaFree--
+			// Reuse the class-checked path with generous per-class budgets.
+			a, f, m, st := 1, 1, 1, 1
+			c.tryIssue(u, &a, &f, &m, &st)
+			if a == 1 && f == 1 && m == 1 && st == 1 {
+				teaFree = before // did not issue (e.g. load retry)
+			}
+		}
+		for _, u := range cands {
+			if u.TEA {
+				continue
+			}
+			c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
+		}
+		return
+	}
+	for pass := 0; pass < 2; pass++ {
+		teaPass := pass == 0
+		if c.Cfg.CompanionNoPriority {
+			teaPass = pass == 1
+		}
+		for _, u := range cands {
+			if u.TEA != teaPass {
+				continue
+			}
+			c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
+		}
+	}
+}
+
+// tryIssue binds one candidate to a port if its class has one free.
+func (c *Core) tryIssue(u *Uop, aluFree, fpFree, memFree, stFree *int) {
+	switch u.Cls {
+	case isa.ClassNop, isa.ClassHalt, isa.ClassALU, isa.ClassMul,
+		isa.ClassDiv, isa.ClassBranch, isa.ClassJump:
+		if *aluFree == 0 {
+			return
+		}
+		*aluFree--
+		c.issueALU(u)
+	case isa.ClassFP:
+		if *fpFree == 0 {
+			return
+		}
+		*fpFree--
+		c.issueALU(u)
+	case isa.ClassLoad:
+		if *memFree == 0 {
+			return
+		}
+		if !c.issueLoad(u) {
+			return // not issuable yet (store dependence / MSHR full)
+		}
+		*memFree--
+	case isa.ClassStore:
+		if *stFree == 0 || *memFree == 0 {
+			return
+		}
+		*stFree--
+		*memFree--
+		c.issueStore(u)
+	}
+}
+
+func (c *Core) latencyOf(u *Uop) uint64 {
+	switch u.Cls {
+	case isa.ClassMul:
+		return c.Cfg.MulLat
+	case isa.ClassDiv:
+		return c.Cfg.DivLat
+	case isa.ClassFP:
+		if u.In.Op == isa.OpFDiv {
+			return c.Cfg.FDivLat
+		}
+		return c.Cfg.FPLat
+	default:
+		return c.Cfg.ALULat
+	}
+}
+
+// issueALU handles every non-memory class (including branches and nops).
+func (c *Core) issueALU(u *Uop) {
+	v1, v2 := c.PRF.Val[u.Prs1], c.PRF.Val[u.Prs2]
+	if u.isBranch() {
+		u.Taken, u.Target = emu.BranchOutcome(u.In, v1, v2)
+	}
+	if val, ok := emu.Eval(u.In, v1, v2, u.PC); ok {
+		u.Val = val
+	}
+	c.scheduleDone(u, c.Cycle+c.latencyOf(u))
+}
+
+// issueLoad executes a load: effective address, store-queue disambiguation
+// (main thread only — TEA loads bypass the LSQ and consult the TEA store
+// data cache), then the D-cache. Returns false if the load must retry.
+func (c *Core) issueLoad(u *Uop) bool {
+	addr := emu.EffAddr(u.In, c.PRF.Val[u.Prs1])
+	size := u.In.MemBytes()
+	u.Addr = addr
+
+	if u.TEA {
+		if c.comp.OlderStorePending(u.Seq) {
+			return false // wait for the chain's producing store
+		}
+		if v, ok := c.comp.LoadValue(addr, size); ok {
+			u.Val = v
+			c.scheduleDone(u, c.Cycle+2) // TEA store-cache forward
+			return true
+		}
+		res, ok := c.Hier.Load(addr, c.Cycle+1)
+		if !ok {
+			return false
+		}
+		u.Val = c.Mem.Read(addr, size)
+		c.scheduleDone(u, res.ReadyAt)
+		return true
+	}
+
+	// Conservative ordering: wait until every older store in the SQ has its
+	// address; forward from the youngest containing store.
+	var fwd *Uop
+	for i := c.sq.len() - 1; i >= 0; i-- {
+		s := c.sq.at(i)
+		if s.Squashed || s.Seq >= u.Seq {
+			continue
+		}
+		if !s.Executed {
+			return false // older store address unknown; retry
+		}
+		ssz := s.In.MemBytes()
+		if s.Addr+uint64(ssz) <= addr || addr+uint64(size) <= s.Addr {
+			continue // disjoint
+		}
+		if s.Addr <= addr && addr+uint64(size) <= s.Addr+uint64(ssz) {
+			fwd = s
+			break // youngest containing store wins
+		}
+		return false // partial overlap: wait until the store commits
+	}
+	if fwd != nil {
+		shift := (addr - fwd.Addr) * 8
+		v := fwd.StoreData >> shift
+		if size < 8 {
+			v &= (1 << (8 * uint(size))) - 1
+		}
+		u.Val = v
+		c.Stats.StoreForwards++
+		c.scheduleDone(u, c.Cycle+2)
+		return true
+	}
+	res, ok := c.Hier.Load(addr, c.Cycle+1)
+	if !ok {
+		return false // MSHRs full
+	}
+	u.Val = c.Mem.Read(addr, size)
+	c.Stats.LoadsExecuted++
+	c.scheduleDone(u, res.ReadyAt)
+	return true
+}
+
+// issueStore computes a store's address and data into its SQ entry; the
+// cache write happens at retirement. TEA stores go to the store data cache.
+func (c *Core) issueStore(u *Uop) {
+	u.Addr = emu.EffAddr(u.In, c.PRF.Val[u.Prs1])
+	u.StoreData = c.PRF.Val[u.Prs2]
+	c.scheduleDone(u, c.Cycle+1)
+}
+
+func (c *Core) scheduleDone(u *Uop, at uint64) {
+	u.Issued = true
+	u.DoneAt = at
+	u.InRS = false
+	if u.TEA {
+		c.rsTEACount--
+		c.Stats.CompanionUops++
+	} else {
+		c.rsMainCount--
+		c.Stats.ExecutedUops++
+	}
+	if at-c.Cycle >= completionRing {
+		panic("pipeline: completion beyond ring horizon")
+	}
+	slot := at % completionRing
+	c.completions[slot] = append(c.completions[slot], u)
+}
+
+// complete is the writeback stage: results become architecturally visible
+// to the scheduler, branches resolve (possibly flushing), and companion
+// uops notify their owner. Oldest-first so the oldest misprediction wins.
+func (c *Core) complete() {
+	slot := c.Cycle % completionRing
+	list := c.completions[slot]
+	if len(list) == 0 {
+		return
+	}
+	c.completions[slot] = list[:0]
+	sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
+	for _, u := range list {
+		if u.Squashed {
+			if u.TEA {
+				c.comp.UopExecuted(u)
+			} else {
+				c.pool.putUop(u)
+			}
+			continue
+		}
+		u.Executed = true
+		if u.HasDest {
+			c.PRF.Write(u.Prd, u.Val)
+		}
+		if DebugTEA > 0 && u.Seq >= DebugSeqLo && u.Seq <= DebugSeqHi {
+			DebugTEA--
+			who := "MAIN"
+			if u.TEA {
+				who = "TEA "
+			}
+			println(who, "cyc", int(c.Cycle), "seq", int(u.Seq), u.In.String(),
+				"v1", int64(c.PRF.Val[u.Prs1]), "val", int64(u.Val), "addr", int64(u.Addr), "sq", u.Squashed)
+		}
+		if u.TEA {
+			if u.isStore() {
+				c.comp.StoreExec(u.Addr, u.StoreData, u.In.MemBytes())
+			}
+			if u.isBranch() {
+				c.comp.BranchResolved(u, u.Taken, u.Target)
+			}
+			c.comp.UopExecuted(u)
+			continue
+		}
+		if u.isBranch() {
+			c.resolveBranch(u)
+		}
+	}
+}
+
+// resolveBranch compares a main-thread branch's computed outcome against the
+// (possibly TEA-corrected) fetch stream and flushes on mismatch.
+func (c *Core) resolveBranch(u *Uop) {
+	rec := u.Rec
+	rec.Resolved = true
+	rec.ActualTaken = u.Taken
+	rec.ActualTarget = u.Target
+	rec.ResolveCycle = c.Cycle
+	rec.WasMispred = rec.actualNext() != rec.OrigNext
+
+	if rec.Precomputed {
+		wrong := rec.PreTaken != u.Taken || (u.Taken && rec.PreTarget != u.Target)
+		if wrong {
+			c.comp.PrecomputationWrong(rec.PC)
+		}
+	}
+	if rec.actualNext() != rec.PredNext {
+		c.Stats.Flushes++
+		c.flushAfter(u.Seq, rec.actualNext(), rec, u.Taken, u.Target)
+	}
+}

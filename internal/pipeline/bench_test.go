@@ -1,0 +1,28 @@
+package pipeline
+
+import (
+	"testing"
+
+	"teasim/internal/asm"
+)
+
+// BenchmarkCorePerCycle measures the simulator's per-cycle cost on a
+// branchy workload (simulation throughput, not simulated performance).
+func BenchmarkCorePerCycle(b *testing.B) {
+	bb := asm.NewBuilder()
+	buildTorture(bb, 42, 24, 1_000_000_000) // effectively unbounded
+	p := bb.MustBuild()
+	cfg := DefaultConfig()
+	c := New(cfg, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if c.Stats.Retired > 0 {
+		b.ReportMetric(float64(c.Stats.Retired)/float64(c.Stats.Cycles), "IPC")
+	}
+}

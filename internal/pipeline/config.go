@@ -1,0 +1,107 @@
+// Package pipeline implements the baseline out-of-order core from Table I of
+// the paper: an 8-wide machine with a decoupled branch predictor feeding a
+// 128-entry fetch queue, a 12-cycle frontend, rename over 400 physical
+// registers, a 352-entry reservation station, 12 execution ports, a
+// 512-entry ROB, and a 256/192-entry load/store queue, over the cache
+// hierarchy and DRAM model in internal/mem.
+//
+// The simulator is execution-driven and value-accurate: physical registers
+// hold real 64-bit values, wrong-path instructions execute with real
+// (possibly stale) inputs, and branch resolution compares genuinely computed
+// outcomes against the decoupled predictor's stream. Retired instructions
+// are optionally checked against the functional emulator (co-simulation).
+//
+// A Companion (the TEA thread, or the Branch Runahead baseline) can be
+// attached to observe the fetch-block stream and retirement, occupy reserved
+// backend resources, and inject early misprediction flushes keyed by branch
+// sequence numbers — the paper's synchronized timestamps.
+package pipeline
+
+import "io"
+
+// Config holds all core parameters (defaults = Table I).
+type Config struct {
+	FrontWidth     int // fetch/decode/rename/issue width
+	RetireWidth    int
+	FetchQueueSize int // fetch addresses buffered by the decoupled BP
+	// FetchToRenameLat is the number of cycles between reading instruction
+	// bytes and being available to rename; together with the 1-cycle predict
+	// and 1-cycle rename/dispatch it forms the 12-cycle frontend.
+	FetchToRenameLat uint64
+	MaxBlockInstrs   int // BP throughput cap: 32 instructions (128B) per cycle
+	FetchLinesPerCyc int // sequential I-cache lines readable per cycle
+	// FrontQCap bounds fetched-but-not-renamed uops (decode/uop-queue
+	// backpressure); fetch stalls when the frontend pipe is full.
+	FrontQCap int
+
+	ROBSize  int
+	RSSize   int
+	NumPRegs int
+	LQSize   int
+	SQSize   int
+
+	ALUPorts  int
+	LDPorts   int
+	LDSTPorts int
+	FPPorts   int
+
+	// Latencies (cycles).
+	ALULat, MulLat, DivLat, FPLat, FDivLat uint64
+
+	// MispredictExtraLat models the redirect/recovery overhead beyond
+	// pipeline refill (checkpoint copy, predictor repair).
+	MispredictExtraLat uint64
+
+	// CompanionDedicated gives the companion its own execution engine
+	// (paper §V-D / Fig. 9): CompanionPorts dedicated execution slots per
+	// cycle and no carve-out of the main thread's RS/PR partitions. Cache
+	// ports and MSHRs remain shared, as in the paper.
+	CompanionDedicated bool
+	CompanionPorts     int
+	// CompanionNoPriority demotes companion uops below the main thread at
+	// select (ablation of §IV-E's prioritization claim).
+	CompanionNoPriority bool
+
+	// CoSim enables golden-model checking at retirement (tests).
+	CoSim bool
+
+	// TraceW, when non-nil, receives a one-line-per-event text trace of
+	// retirement and flush activity between TraceStart and TraceEnd cycles
+	// (TraceEnd 0 = unbounded).
+	TraceW     io.Writer
+	TraceStart uint64
+	TraceEnd   uint64
+
+	// MaxInstructions stops the run after retiring this many (0 = until halt).
+	MaxInstructions uint64
+	// MaxCycles aborts a wedged simulation (0 = no limit).
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the Table I baseline core.
+func DefaultConfig() Config {
+	return Config{
+		FrontWidth:       8,
+		RetireWidth:      16,
+		FetchQueueSize:   128,
+		FetchToRenameLat: 10,
+		MaxBlockInstrs:   32,
+		FetchLinesPerCyc: 2,
+		FrontQCap:        96,
+
+		ROBSize:  512,
+		RSSize:   352,
+		NumPRegs: 400,
+		LQSize:   256,
+		SQSize:   192,
+
+		ALUPorts:  6,
+		LDPorts:   2,
+		LDSTPorts: 2,
+		FPPorts:   2,
+
+		ALULat: 1, MulLat: 3, DivLat: 12, FPLat: 3, FDivLat: 12,
+
+		MispredictExtraLat: 3,
+	}
+}

@@ -1,0 +1,213 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"teasim/internal/bpred"
+	"teasim/internal/emu"
+	"teasim/internal/isa"
+	"teasim/internal/mem"
+)
+
+// Core is the out-of-order core simulator.
+type Core struct {
+	Cfg  Config
+	Prog *isa.Program
+	Mem  *mem.Image // committed architectural memory
+	Hier *mem.Hierarchy
+	BP   *bpred.Predictor
+
+	Cycle uint64
+	seq   uint64 // next sequence number to assign
+
+	// Decoupled BP stream state.
+	streamPC         uint64
+	streamStalled    bool
+	fetchQ           queue[*FetchBlock]
+	mainOff          int // instruction offset into fetchQ[0] for main fetch
+	teaBlk           int // companion cursor: block index into fetchQ
+	teaOff           int
+	teaCursorInvalid bool
+	teaActive        bool
+	teaPopWait       int
+	fetchStallTil    uint64
+	streamResumeAt   uint64
+
+	// In-flight branch queue: every branch the BP has emitted. The map is
+	// the lookup index; recList holds the same records in age order so
+	// flushes truncate the tail instead of scanning the map.
+	branches map[uint64]*BranchRec
+	recList  queue[*BranchRec]
+
+	// Frontend pipe: fetched uops waiting to become rename-ready.
+	frontQ queue[*Uop]
+
+	// Rename state.
+	rat [isa.NumRegs]uint16
+	PRF *PRF
+	rob queue[*Uop]
+
+	// Backend.
+	rs          []*Uop
+	cands       []*Uop // scratch for the scheduler
+	rsMainCount int
+	rsTEACount  int
+	mainRSCap   int
+	lqCount     int
+	sqCount     int
+	sq          queue[*Uop] // stores in program order, executed ⇒ address known
+	completions [completionRing][]*Uop
+
+	pendingRedirects []pendingRedirect
+
+	// Issue-slot sharing between companion and main rename (per cycle).
+	issueSlotsUsed int
+
+	comp         Companion
+	compAttached bool
+	teaRSCap     int
+	teaPRBase    int
+	teaPRCount   int
+
+	// Co-simulation.
+	gold *emu.Machine
+
+	pool pools
+
+	halted bool
+
+	Stats Stats
+}
+
+type pendingRedirect struct {
+	atCycle uint64
+	seq     uint64
+	pc      uint64
+	target  uint64
+}
+
+// New builds a core for prog with the given configuration. A fresh memory
+// image is initialized from the program's data segments.
+func New(cfg Config, prog *isa.Program) *Core {
+	teaRegs := 192
+	c := &Core{
+		Cfg:        cfg,
+		Prog:       prog,
+		Mem:        mem.NewImage(),
+		Hier:       mem.NewHierarchy(mem.DefaultHierarchyConfig()),
+		BP:         bpred.New(),
+		streamPC:   prog.Entry,
+		branches:   make(map[uint64]*BranchRec),
+		PRF:        NewPRF(cfg.NumPRegs, teaRegs),
+		mainRSCap:  cfg.RSSize,
+		teaPRBase:  cfg.NumPRegs,
+		teaPRCount: teaRegs,
+		comp:       nopCompanion{},
+	}
+	for _, seg := range prog.Data {
+		c.Mem.WriteBytes(seg.Addr, seg.Bytes)
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		c.rat[i] = uint16(i)
+	}
+	if cfg.CoSim {
+		c.gold = emu.NewWithMem(prog, c.Mem.Clone())
+	}
+	return c
+}
+
+// Attach connects a precomputation companion (TEA thread or runahead).
+func (c *Core) Attach(comp Companion) {
+	c.comp = comp
+	c.compAttached = true
+}
+
+// SetPartition reserves (or releases) backend resources for the companion:
+// rsReserve RS entries are carved out of the main thread's share while the
+// companion is active (paper §IV-E: 192 RS + 192 PRs).
+func (c *Core) SetPartition(active bool, rsReserve, prReserve int) {
+	c.teaActive = active
+	if c.Cfg.CompanionDedicated {
+		// Dedicated engine (§V-D): companion resources are additional; the
+		// main thread keeps its full share.
+		c.mainRSCap = c.Cfg.RSSize
+		c.PRF.SetMainCap(c.Cfg.NumPRegs)
+		if active {
+			c.teaRSCap = rsReserve
+		} else {
+			c.teaRSCap = 0
+		}
+		return
+	}
+	if active {
+		c.mainRSCap = c.Cfg.RSSize - rsReserve
+		c.PRF.SetMainCap(c.Cfg.NumPRegs - prReserve)
+		c.teaRSCap = rsReserve
+	} else {
+		c.mainRSCap = c.Cfg.RSSize
+		c.PRF.SetMainCap(c.Cfg.NumPRegs)
+		c.teaRSCap = 0
+	}
+}
+
+// Halted reports whether the program's halt instruction has retired.
+func (c *Core) Halted() bool { return c.halted }
+
+// Seq returns the next unassigned sequence number (diagnostics).
+func (c *Core) Seq() uint64 { return c.seq }
+
+// Branch returns the in-flight branch record for seq, if present.
+func (c *Core) Branch(seq uint64) *BranchRec { return c.branches[seq] }
+
+// RATSnapshot copies the current speculative RAT (for the TEA shadow RAT).
+func (c *Core) RATSnapshot() [isa.NumRegs]uint16 { return c.rat }
+
+// EarlyFlush issues a companion-triggered early misprediction flush for the
+// in-flight branch rec (§IV-F): because the companion's branch carries the
+// same timestamp as its main-thread counterpart, the ordinary flush
+// mechanism corrects the stream wherever the branch currently is — backend,
+// frontend (partial flush), or still in the fetch queue.
+func (c *Core) EarlyFlush(rec *BranchRec, taken bool, target uint64) {
+	next := target
+	if !taken {
+		next = rec.PC + isa.InstBytes
+	}
+	c.Stats.EarlyFlushes++
+	c.flushAfter(rec.Seq, next, rec, taken, target)
+}
+
+// Run executes until halt, the instruction budget, or the cycle limit.
+func (c *Core) Run() error {
+	for !c.halted {
+		if err := c.Tick(); err != nil {
+			return err
+		}
+		if c.Cfg.MaxInstructions > 0 && c.Stats.Retired >= c.Cfg.MaxInstructions {
+			break
+		}
+		if c.Cfg.MaxCycles > 0 && c.Cycle >= c.Cfg.MaxCycles {
+			return fmt.Errorf("pipeline: cycle limit %d reached at %d retired (possible wedge)",
+				c.Cfg.MaxCycles, c.Stats.Retired)
+		}
+	}
+	return nil
+}
+
+// Tick advances the core one cycle. Stages run oldest-first so values flow
+// one stage per cycle without intra-cycle re-entrancy.
+func (c *Core) Tick() error {
+	if err := c.retire(); err != nil {
+		return err
+	}
+	c.complete()
+	c.execute()
+	c.issueSlotsUsed = 0
+	c.comp.Tick() // companion fetch/rename: priority access to issue slots
+	c.rename()
+	c.processRedirects()
+	c.fetch()
+	c.predict()
+	c.Cycle++
+	c.Stats.Cycles = c.Cycle
+	return nil
+}

@@ -1,0 +1,316 @@
+package pipeline
+
+import (
+	"testing"
+
+	"teasim/internal/asm"
+	"teasim/internal/isa"
+)
+
+// runProg builds and runs a program under co-simulation until halt.
+func runProg(t *testing.T, build func(b *asm.Builder)) *Core {
+	t.Helper()
+	b := asm.NewBuilder()
+	build(b)
+	p := b.MustBuild()
+	cfg := DefaultConfig()
+	cfg.CoSim = true
+	cfg.MaxCycles = 5_000_000
+	c := New(cfg, p)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted() {
+		t.Fatal("core did not halt")
+	}
+	return c
+}
+
+// finalReg returns the committed architectural value of r via the golden
+// model (which the pipeline has verified against at every retirement).
+func finalReg(c *Core, r isa.Reg) uint64 {
+	return c.gold.Regs[r]
+}
+
+func TestStraightLine(t *testing.T) {
+	c := runProg(t, func(b *asm.Builder) {
+		b.Li(isa.R1, 10)
+		b.Li(isa.R2, 32)
+		b.Add(isa.R3, isa.R1, isa.R2)
+		b.MulI(isa.R4, isa.R3, 3)
+		b.Halt()
+	})
+	if got := finalReg(c, isa.R4); got != 126 {
+		t.Fatalf("r4 = %d", got)
+	}
+	if c.Stats.Retired != 5 {
+		t.Fatalf("retired = %d", c.Stats.Retired)
+	}
+}
+
+func TestCountedLoopIPC(t *testing.T) {
+	c := runProg(t, func(b *asm.Builder) {
+		b.Li(isa.R1, 0)
+		b.Li(isa.R2, 1)
+		b.Li(isa.R3, 20000)
+		b.Label("loop")
+		b.Add(isa.R1, isa.R1, isa.R2)
+		b.AddI(isa.R2, isa.R2, 1)
+		b.Bge(isa.R3, isa.R2, "loop")
+		b.Halt()
+	})
+	if got := finalReg(c, isa.R1); got != 20000*20001/2 {
+		t.Fatalf("sum = %d", got)
+	}
+	// A predictable loop should sustain decent IPC (dependent chain limits
+	// it to ~1 add/cycle but the 3 uops/iter should overlap).
+	if ipc := c.Stats.IPC(); ipc < 1.0 {
+		t.Fatalf("IPC = %.2f, want >= 1.0", ipc)
+	}
+	// The loop predictor/TAGE should make this nearly misprediction-free.
+	if c.Stats.CondMispredicts > 20 {
+		t.Fatalf("mispredicts = %d", c.Stats.CondMispredicts)
+	}
+}
+
+func TestStoreLoadForwarding(t *testing.T) {
+	c := runProg(t, func(b *asm.Builder) {
+		b.LiU(isa.R1, 0x40000)
+		b.Li(isa.R2, 12345)
+		b.St(isa.R1, 0, isa.R2)
+		b.Ld(isa.R3, isa.R1, 0) // should forward from SQ
+		b.AddI(isa.R4, isa.R3, 1)
+		b.Halt()
+	})
+	if got := finalReg(c, isa.R4); got != 12346 {
+		t.Fatalf("r4 = %d", got)
+	}
+	if c.Stats.StoreForwards == 0 {
+		t.Fatal("no store-to-load forwarding observed")
+	}
+}
+
+func TestSubwordForwardWaitsForCommit(t *testing.T) {
+	// A 4-byte load partially overlapping an 8-byte store must still get
+	// the right value (it waits for the store to commit).
+	c := runProg(t, func(b *asm.Builder) {
+		b.LiU(isa.R1, 0x40000)
+		b.Li(isa.R2, 0x1122334455667788)
+		b.St(isa.R1, 0, isa.R2)
+		b.Ld4(isa.R3, isa.R1, 4) // upper half: 0x11223344
+		b.Halt()
+	})
+	if got := finalReg(c, isa.R3); got != 0x11223344 {
+		t.Fatalf("r3 = %#x", got)
+	}
+}
+
+func TestCallRetSequence(t *testing.T) {
+	c := runProg(t, func(b *asm.Builder) {
+		b.Label("main")
+		b.Li(isa.R1, 1)
+		b.Li(isa.R5, 0)
+		b.Li(isa.R6, 200)
+		b.Label("loop")
+		b.Call("fn")
+		b.AddI(isa.R5, isa.R5, 1)
+		b.Bge(isa.R6, isa.R5, "loop")
+		b.Halt()
+		b.Label("fn")
+		b.Add(isa.R1, isa.R1, isa.R5)
+		b.Ret()
+	})
+	want := uint64(1)
+	for i := uint64(0); i <= 200; i++ {
+		want += i
+	}
+	if got := finalReg(c, isa.R1); got != want {
+		t.Fatalf("r1 = %d want %d", got, want)
+	}
+}
+
+func TestDataDependentBranches(t *testing.T) {
+	// Branches on pseudo-random data: mispredictions must occur, recover,
+	// and the result must still be exact.
+	c := runProg(t, func(b *asm.Builder) {
+		b.Li(isa.R10, 0)                     // acc
+		b.Li(isa.R11, 0x9E3779B97F4A7C15>>1) // lfsr state
+		b.Li(isa.R12, 0)                     // i
+		b.Li(isa.R13, 5000)                  // n
+		b.Label("loop")
+		// xorshift
+		b.ShlI(isa.R1, isa.R11, 13)
+		b.Xor(isa.R11, isa.R11, isa.R1)
+		b.ShrI(isa.R1, isa.R11, 7)
+		b.Xor(isa.R11, isa.R11, isa.R1)
+		b.ShlI(isa.R1, isa.R11, 17)
+		b.Xor(isa.R11, isa.R11, isa.R1)
+		b.AndI(isa.R2, isa.R11, 1)
+		b.Beqz(isa.R2, "skip")
+		b.AddI(isa.R10, isa.R10, 3)
+		b.Jmp("next")
+		b.Label("skip")
+		b.AddI(isa.R10, isa.R10, 1)
+		b.Label("next")
+		b.AddI(isa.R12, isa.R12, 1)
+		b.Blt(isa.R12, isa.R13, "loop")
+		b.Halt()
+	})
+	if c.Stats.CondMispredicts < 500 {
+		t.Fatalf("expected many mispredictions on random branches, got %d", c.Stats.CondMispredicts)
+	}
+	if c.Stats.Flushes == 0 {
+		t.Fatal("no flushes recorded")
+	}
+}
+
+func TestIndirectDispatch(t *testing.T) {
+	// A switch-like dispatch through jr, alternating targets.
+	c := runProg(t, func(b *asm.Builder) {
+		b.Li(isa.R10, 0)
+		b.Li(isa.R12, 0)
+		b.Li(isa.R13, 300)
+		b.Label("loop")
+		b.AndI(isa.R1, isa.R12, 1)
+		b.MulI(isa.R1, isa.R1, 8) // two instructions per case
+		b.LiLabel(isa.R2, "case0")
+		b.Add(isa.R2, isa.R2, isa.R1)
+		b.Jr(isa.R2, 0)
+		b.Label("case0")
+		b.AddI(isa.R10, isa.R10, 1)
+		b.Jmp("next")
+		b.Label("case1")
+		b.AddI(isa.R10, isa.R10, 100)
+		b.Jmp("next")
+		b.Label("next")
+		b.AddI(isa.R12, isa.R12, 1)
+		b.Blt(isa.R12, isa.R13, "loop")
+		b.Halt()
+	})
+	if got := finalReg(c, isa.R10); got != 150+150*100 {
+		t.Fatalf("r10 = %d", got)
+	}
+}
+
+func TestMemoryStreamWithLatency(t *testing.T) {
+	// Sum a 64KB array: exercises D-cache misses, MSHRs, DRAM.
+	n := 8192
+	vals := make([]uint64, n)
+	var want uint64
+	for i := range vals {
+		vals[i] = uint64(i*7 + 3)
+		want += vals[i]
+	}
+	c := runProg(t, func(b *asm.Builder) {
+		b.DataU64(0x100000, vals)
+		b.LiU(isa.R1, 0x100000)
+		b.Li(isa.R2, 0) // i
+		b.Li(isa.R3, int64(n))
+		b.Li(isa.R10, 0)
+		b.Label("loop")
+		b.ShlI(isa.R4, isa.R2, 3)
+		b.Add(isa.R4, isa.R1, isa.R4)
+		b.Ld(isa.R5, isa.R4, 0)
+		b.Add(isa.R10, isa.R10, isa.R5)
+		b.AddI(isa.R2, isa.R2, 1)
+		b.Blt(isa.R2, isa.R3, "loop")
+		b.Halt()
+	})
+	if got := finalReg(c, isa.R10); got != want {
+		t.Fatalf("sum = %d want %d", got, want)
+	}
+	if c.Hier.L1D.Misses == 0 || c.Hier.DRAM.Reads == 0 {
+		t.Fatal("expected D-cache misses and DRAM traffic")
+	}
+}
+
+// TestRandomTorture generates a random control-flow-heavy program with
+// loads, stores, calls, and data-dependent branches, and runs it to halt
+// under full co-simulation. Any architectural divergence fails the run.
+func TestRandomTorture(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		c := runProg(t, func(b *asm.Builder) {
+			buildTorture(b, seed, 24, 4000)
+		})
+		// Sanity: the committed memory region matches the golden model.
+		if !c.MemEquals(0x200000, 4096) {
+			t.Fatalf("seed %d: memory diverged from golden model", seed)
+		}
+		if c.Stats.Retired < 4000 {
+			t.Fatalf("seed %d: too few instructions retired: %d", seed, c.Stats.Retired)
+		}
+	}
+}
+
+// buildTorture emits nBlocks random basic blocks that bounce control flow
+// among themselves for `steps` block executions, then halt. R20 is the
+// countdown, R21 the data base, R22 an LFSR driving all "random" decisions.
+func buildTorture(b *asm.Builder, seed uint64, nBlocks, steps int) {
+	rng := seed*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	blkName := func(i int) string { return "blk" + string(rune('A'+i%26)) + string(rune('0'+i/26)) }
+
+	b.Label("main")
+	b.Li(isa.R20, int64(steps))
+	b.LiU(isa.R21, 0x200000)
+	b.Li(isa.R22, int64(seed*0x9E3779B9+1))
+	for i := 1; i <= 15; i++ {
+		b.Li(isa.Reg(i), int64(seed)*int64(i)+7)
+	}
+	b.Jmp(blkName(0))
+
+	for blk := 0; blk < nBlocks; blk++ {
+		b.Label(blkName(blk))
+		// advance LFSR
+		b.ShlI(isa.R1, isa.R22, 13)
+		b.Xor(isa.R22, isa.R22, isa.R1)
+		b.ShrI(isa.R1, isa.R22, 7)
+		b.Xor(isa.R22, isa.R22, isa.R1)
+		// random body ops
+		for k, nOps := 0, 2+next(5); k < nOps; k++ {
+			rd := isa.Reg(2 + next(13))
+			r1 := isa.Reg(2 + next(13))
+			r2 := isa.Reg(2 + next(13))
+			switch next(8) {
+			case 0:
+				b.Add(rd, r1, r2)
+			case 1:
+				b.Sub(rd, r1, r2)
+			case 2:
+				b.Mul(rd, r1, r2)
+			case 3:
+				b.Xor(rd, r1, r2)
+			case 4: // load from the data region, address from LFSR
+				b.AndI(isa.R16, isa.R22, 0xFF8)
+				b.Add(isa.R16, isa.R21, isa.R16)
+				b.Ld(rd, isa.R16, 0)
+			case 5: // store to the data region
+				b.AndI(isa.R16, isa.R22, 0xFF8)
+				b.Add(isa.R16, isa.R21, isa.R16)
+				b.St(isa.R16, 0, r1)
+			case 6: // subword traffic (forwarding edge cases)
+				b.AndI(isa.R16, isa.R22, 0xFF8)
+				b.Add(isa.R16, isa.R21, isa.R16)
+				b.St4(isa.R16, 0, r1)
+				b.Ld1(rd, isa.R16, 0)
+			case 7:
+				b.Slt(rd, r1, r2)
+			}
+		}
+		// countdown and exit
+		b.AddI(isa.R20, isa.R20, -1)
+		b.Beqz(isa.R20, "exit")
+		// data-dependent two-way branch to random blocks
+		t1, t2 := blkName(next(nBlocks)), blkName(next(nBlocks))
+		b.AndI(isa.R17, isa.R22, 3)
+		b.Beqz(isa.R17, t1)
+		b.Jmp(t2)
+	}
+	b.Label("exit")
+	b.Halt()
+}

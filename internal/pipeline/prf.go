@@ -1,0 +1,68 @@
+package pipeline
+
+import "teasim/internal/isa"
+
+// PRF is the physical register file: values, readiness, and the main
+// thread's free list. When a TEA companion is attached, an extra block of
+// registers beyond the main pool is appended for the companion to manage
+// with its own reference-counting scheme (the paper's partitioned PRs).
+type PRF struct {
+	Val   []uint64
+	Ready []bool
+	free  []uint16
+	// mainCap limits how many main-pool registers may be in use; lowering it
+	// below the pool size models the partition reserved for the TEA thread.
+	inUse   int
+	mainCap int
+	poolLen int
+}
+
+// NewPRF builds a PRF with mainRegs in the main pool plus extraRegs appended
+// for a companion. Arch registers are pre-mapped to PR 0..NumRegs-1.
+func NewPRF(mainRegs, extraRegs int) *PRF {
+	p := &PRF{
+		Val:     make([]uint64, mainRegs+extraRegs),
+		Ready:   make([]bool, mainRegs+extraRegs),
+		poolLen: mainRegs,
+		mainCap: mainRegs,
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		p.Ready[i] = true
+	}
+	p.inUse = isa.NumRegs
+	for i := mainRegs - 1; i >= isa.NumRegs; i-- {
+		p.free = append(p.free, uint16(i))
+	}
+	return p
+}
+
+// SetMainCap adjusts the number of main-pool registers usable by the main
+// thread (the TEA partition carve-out).
+func (p *PRF) SetMainCap(n int) { p.mainCap = n }
+
+// CanAlloc reports whether a main-pool register is available under the cap.
+func (p *PRF) CanAlloc() bool { return len(p.free) > 0 && p.inUse < p.mainCap }
+
+// Alloc takes a register from the main pool (caller checks CanAlloc).
+func (p *PRF) Alloc() uint16 {
+	r := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.Ready[r] = false
+	p.inUse++
+	return r
+}
+
+// Free returns a main-pool register.
+func (p *PRF) Free(r uint16) {
+	p.free = append(p.free, r)
+	p.inUse--
+}
+
+// ExtraBase returns the first register index of the companion block.
+func (p *PRF) ExtraBase() int { return p.poolLen }
+
+// Write sets a register value and marks it ready.
+func (p *PRF) Write(r uint16, v uint64) {
+	p.Val[r] = v
+	p.Ready[r] = true
+}

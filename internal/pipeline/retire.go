@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"teasim/internal/isa"
+)
+
+// retire commits up to RetireWidth instructions in order from the ROB head:
+// stores write the data cache and architectural memory, branches train the
+// predictor, freed physical registers return to the pool, and (under co-sim)
+// every instruction is checked against the golden functional model.
+func (c *Core) retire() error {
+	for n := 0; n < c.Cfg.RetireWidth && c.rob.len() > 0; n++ {
+		u := c.rob.front()
+		if !u.Executed {
+			c.Stats.RetireStallROB++
+			return nil
+		}
+		if u.isStore() {
+			if _, ok := c.Hier.StoreCommit(u.Addr, c.Cycle); !ok {
+				return nil // MSHRs full; retry next cycle
+			}
+			c.Mem.Write(u.Addr, u.StoreData, u.In.MemBytes())
+			if c.sq.len() == 0 || c.sq.front() != u {
+				return fmt.Errorf("pipeline: SQ head mismatch at retire (seq %d)", u.Seq)
+			}
+			c.sq.popFront()
+			c.sqCount--
+		}
+		if u.isLoad() {
+			c.lqCount--
+		}
+
+		if c.gold != nil {
+			if err := c.cosimCheck(u); err != nil {
+				return err
+			}
+		}
+
+		if u.isBranch() {
+			rec := u.Rec
+			c.BP.Train(&rec.Pred, u.In, rec.ActualTaken, rec.ActualTarget)
+			if u.In.IsCondBranch() {
+				c.Stats.CondBranches++
+				if rec.WasMispred {
+					c.Stats.CondMispredicts++
+				}
+			} else if u.In.IsIndirect() {
+				c.Stats.IndBranches++
+				if rec.WasMispred {
+					c.Stats.IndMispredicts++
+				}
+			} else if rec.WasMispred {
+				// Direct jmp/call misfetch (BTB cold); counted as a target
+				// misprediction for MPKI purposes.
+				c.Stats.IndMispredicts++
+			}
+			delete(c.branches, rec.Seq)
+		}
+
+		if u.HasDest {
+			c.PRF.Free(u.PrevPrd)
+		}
+		c.rob.popFront()
+		c.Stats.Retired++
+		if c.Cfg.TraceW != nil {
+			c.traceRetire(u)
+		}
+		c.comp.OnRetire(u) // companion reads u (and u.Rec) synchronously
+		halt := u.In.Op == isa.OpHalt
+		if u.Rec != nil {
+			if c.recList.len() == 0 || c.recList.front() != u.Rec {
+				return fmt.Errorf("pipeline: branch record list head mismatch (seq %d)", u.Seq)
+			}
+			c.recList.popFront()
+			c.pool.putRec(u.Rec)
+		}
+		c.pool.putUop(u)
+		if halt {
+			c.halted = true
+			return nil
+		}
+	}
+	return nil
+}
+
+// cosimCheck steps the golden emulator and verifies the retiring uop matches
+// its architectural effects exactly.
+func (c *Core) cosimCheck(u *Uop) error {
+	s, err := c.gold.Step()
+	if err != nil {
+		return fmt.Errorf("pipeline cosim: golden model error: %w", err)
+	}
+	if s.PC != u.PC {
+		return fmt.Errorf("pipeline cosim: retired PC %#x, golden %#x (seq %d, cycle %d)",
+			u.PC, s.PC, u.Seq, c.Cycle)
+	}
+	if u.HasDest {
+		got := c.PRF.Val[u.Prd]
+		if !s.WroteReg || got != s.RegVal {
+			return fmt.Errorf("pipeline cosim: %v at %#x wrote r%d=%#x, golden %#x (seq %d, cycle %d)",
+				u.In, u.PC, u.In.Rd, got, s.RegVal, u.Seq, c.Cycle)
+		}
+	}
+	if u.In.IsStore() {
+		want := s.MemVal
+		data := u.StoreData
+		if sz := u.In.MemBytes(); sz < 8 {
+			data &= (1 << (8 * uint(sz))) - 1
+			want &= (1 << (8 * uint(sz))) - 1
+		}
+		if !s.IsStore || s.MemAddr != u.Addr || data != want {
+			return fmt.Errorf("pipeline cosim: store at %#x addr=%#x data=%#x, golden addr=%#x data=%#x",
+				u.PC, u.Addr, data, s.MemAddr, want)
+		}
+	}
+	if u.In.IsBranch() {
+		if !s.IsBranch || s.Taken != u.Taken {
+			return fmt.Errorf("pipeline cosim: branch at %#x taken=%v, golden %v", u.PC, u.Taken, s.Taken)
+		}
+		if u.Taken && s.Target != u.Target {
+			return fmt.Errorf("pipeline cosim: branch at %#x target=%#x, golden %#x", u.PC, u.Target, s.Target)
+		}
+	}
+	if u.In.Op == isa.OpHalt && !s.Halted {
+		return fmt.Errorf("pipeline cosim: halt retired but golden model not halted")
+	}
+	return nil
+}
+
+// MemEquals reports whether the committed memory matches the golden model's
+// memory at addr for n bytes (test helper; only valid with co-sim enabled).
+func (c *Core) MemEquals(addr uint64, n int) bool {
+	if c.gold == nil {
+		return true
+	}
+	for i := 0; i < n; i++ {
+		if c.Mem.Byte(addr+uint64(i)) != c.gold.Mem.Byte(addr+uint64(i)) {
+			return false
+		}
+	}
+	return true
+}

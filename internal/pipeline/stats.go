@@ -1,0 +1,48 @@
+package pipeline
+
+// Stats collects the core's performance counters. All counts are for the
+// committed (retired) instruction stream unless noted.
+type Stats struct {
+	Cycles  uint64
+	Retired uint64
+
+	// Branch outcomes at retirement (relative to the ORIGINAL prediction, so
+	// early TEA flushes still count the underlying misprediction — they just
+	// shrink its penalty).
+	CondBranches    uint64
+	CondMispredicts uint64
+	IndBranches     uint64 // indirect jumps + calls + returns
+	IndMispredicts  uint64
+	Flushes         uint64 // execute-time misprediction flushes issued
+	EarlyFlushes    uint64 // flushes issued by the companion (TEA)
+	ResteerDecode   uint64 // BTB-miss direct-branch decode re-steers
+	OrderFlushes    uint64
+
+	// Fetch-side.
+	FetchedUops   uint64 // main-thread instructions fetched (incl. wrong path)
+	FetchStallICM uint64 // cycles fetch stalled on I-cache misses
+	EmptyFetchQ   uint64 // cycles fetch had no block available
+
+	// Backend.
+	ExecutedUops   uint64 // main-thread uops executed (incl. wrong path)
+	CompanionUops  uint64 // companion (TEA) uops executed
+	LoadsExecuted  uint64
+	StoreForwards  uint64
+	RetireStallROB uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MPKI returns total (direction + target) mispredictions per kilo-instruction.
+func (s *Stats) MPKI() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.CondMispredicts+s.IndMispredicts) * 1000 / float64(s.Retired)
+}

@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracing: when Config.TraceW is set, the core emits a compact text trace
+// of retirement, flush, and companion events between TraceStart and
+// TraceEnd (cycles). Intended for debugging and for the examples — the
+// volume is one line per event, so keep windows small.
+//
+//	cfg.TraceW = os.Stdout
+//	cfg.TraceStart, cfg.TraceEnd = 1000, 1200
+
+// traceOn reports whether the current cycle is inside the trace window.
+func (c *Core) traceOn() bool {
+	return c.Cfg.TraceW != nil && c.Cycle >= c.Cfg.TraceStart &&
+		(c.Cfg.TraceEnd == 0 || c.Cycle <= c.Cfg.TraceEnd)
+}
+
+func (c *Core) tracef(format string, args ...any) {
+	fmt.Fprintf(c.Cfg.TraceW, "[%8d] ", c.Cycle)
+	fmt.Fprintf(c.Cfg.TraceW, format, args...)
+	io.WriteString(c.Cfg.TraceW, "\n")
+}
+
+// traceRetire logs one retired instruction.
+func (c *Core) traceRetire(u *Uop) {
+	if !c.traceOn() {
+		return
+	}
+	switch {
+	case u.isBranch():
+		out := "NT"
+		if u.Taken {
+			out = fmt.Sprintf("T->%#x", u.Target)
+		}
+		mark := ""
+		if u.Rec != nil && u.Rec.WasMispred {
+			mark = " MISPRED"
+			if u.Rec.Precomputed && u.Rec.PreFlushed {
+				mark = " MISPRED(early-flushed)"
+			}
+		}
+		c.tracef("retire seq=%d pc=%#x %s %s%s", u.Seq, u.PC, u.In, out, mark)
+	case u.isLoad() || u.isStore():
+		c.tracef("retire seq=%d pc=%#x %s addr=%#x", u.Seq, u.PC, u.In, u.Addr)
+	default:
+		c.tracef("retire seq=%d pc=%#x %s", u.Seq, u.PC, u.In)
+	}
+}
+
+// traceFlush logs a pipeline flush.
+func (c *Core) traceFlush(seq uint64, redirect uint64, early bool) {
+	if !c.traceOn() {
+		return
+	}
+	kind := "flush"
+	if early {
+		kind = "early-flush"
+	}
+	c.tracef("%s at seq=%d redirect=%#x (rob=%d rs=%d fq=%d)",
+		kind, seq, redirect, c.rob.len(), len(c.rs), c.fetchQ.len())
+}

@@ -1,0 +1,71 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"teasim/internal/asm"
+	"teasim/internal/isa"
+)
+
+func TestTraceEmitsEvents(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Li(isa.R1, 0)
+	b.Li(isa.R11, 0xABCDE)
+	b.Li(isa.R2, 2000)
+	b.Label("loop")
+	b.ShlI(isa.R3, isa.R11, 13)
+	b.Xor(isa.R11, isa.R11, isa.R3)
+	b.ShrI(isa.R3, isa.R11, 7)
+	b.Xor(isa.R11, isa.R11, isa.R3)
+	b.AndI(isa.R4, isa.R11, 1)
+	b.Beqz(isa.R4, "skip")
+	b.AddI(isa.R5, isa.R5, 1)
+	b.Label("skip")
+	b.AddI(isa.R1, isa.R1, 1)
+	b.Blt(isa.R1, isa.R2, "loop")
+	b.Halt()
+
+	var sb strings.Builder
+	cfg := DefaultConfig()
+	cfg.CoSim = true
+	cfg.MaxCycles = 2_000_000
+	cfg.TraceW = &sb
+	cfg.TraceStart, cfg.TraceEnd = 0, 4000
+	c := New(cfg, b.MustBuild())
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "retire") {
+		t.Fatal("no retire events traced")
+	}
+	if !strings.Contains(out, "flush") {
+		t.Fatal("no flush events traced (random branch must mispredict)")
+	}
+	if !strings.Contains(out, "MISPRED") {
+		t.Fatal("no mispredicted branch annotated")
+	}
+}
+
+func TestTraceWindowBounds(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Li(isa.R1, 0)
+	b.Li(isa.R2, 100)
+	b.Label("loop")
+	b.AddI(isa.R1, isa.R1, 1)
+	b.Blt(isa.R1, isa.R2, "loop")
+	b.Halt()
+	var sb strings.Builder
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 100_000
+	cfg.TraceW = &sb
+	cfg.TraceStart, cfg.TraceEnd = 1<<40, 1<<41 // window never reached
+	c := New(cfg, b.MustBuild())
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("trace emitted outside window: %q", sb.String()[:50])
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"fmt"
+
+	"teasim/internal/isa"
+	"teasim/internal/workloads"
+)
+
+func disasm(name string, lo, hi uint64) {
+	w, _ := workloads.ByName(name)
+	prog := w.Build(1)
+	for pc := lo; pc <= hi; pc += isa.InstBytes {
+		in := prog.InstAt(pc)
+		if in == nil {
+			continue
+		}
+		fmt.Printf("%#x: %s\n", pc, in)
+	}
+}

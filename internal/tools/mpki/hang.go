@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+
+	"teasim/internal/core"
+	"teasim/internal/pipeline"
+	"teasim/internal/workloads"
+)
+
+func hangProbe(name string) {
+	w, _ := workloads.ByName(name)
+	prog := w.Build(1)
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxInstructions = 400_000
+	cfg.MaxCycles = 2_000_000
+	c := pipeline.New(cfg, prog)
+	tcfg := core.DefaultConfig()
+	tcfg.DisableEarlyFlush = true
+	t := core.New(tcfg, c)
+	err := c.Run()
+	fmt.Printf("err=%v retired=%d cyc=%d\n", err, c.Stats.Retired, c.Stats.Cycles)
+	fmt.Printf("act=%d termLate=%d termBC=%d late=%d resolved=%d agree=%d\n",
+		t.Stats.Activations, t.Stats.TermLate, t.Stats.TermBCMiss, t.Stats.LateEvents, t.Stats.Resolved, t.Stats.Agreements)
+	fmt.Printf("pipe flushes=%d uopsF=%d uopsR=%d\n", c.Stats.Flushes, t.Stats.UopsFetched, t.Stats.UopsRenamed)
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+
+	"teasim/internal/core"
+	"teasim/internal/pipeline"
+	"teasim/internal/workloads"
+)
+
+func knobProbe(name string) {
+	for _, k := range []struct {
+		label string
+		mod   func(*core.Config, *pipeline.Config)
+	}{
+		{"base", nil},
+		{"lead2", func(t *core.Config, p *pipeline.Config) { t.MaxLeadBlocks = 2 }},
+		{"lead8", func(t *core.Config, p *pipeline.Config) { t.MaxLeadBlocks = 8 }},
+		{"lead16", func(t *core.Config, p *pipeline.Config) { t.MaxLeadBlocks = 16 }},
+		{"lead32", func(t *core.Config, p *pipeline.Config) { t.MaxLeadBlocks = 32 }},
+		{"led8ded", func(t *core.Config, p *pipeline.Config) {
+			t.MaxLeadBlocks = 8
+			p.CompanionDedicated = true
+			p.CompanionPorts = 16
+		}},
+		{"noflush8", func(t *core.Config, p *pipeline.Config) { t.MaxLeadBlocks = 8; t.DisableEarlyFlush = true }},
+	} {
+		w, _ := workloads.ByName(name)
+		prog := w.Build(1)
+		pcfg := pipeline.DefaultConfig()
+		pcfg.MaxInstructions = 400_000
+		pcfg.MaxCycles = 100_000_000
+		tcfg := core.DefaultConfig()
+		c := pipeline.New(pcfg, prog)
+		var t *core.TEA
+		if k.mod != nil {
+			k.mod(&tcfg, &pcfg)
+			c = pipeline.New(pcfg, prog)
+			t = core.New(tcfg, c)
+		}
+		if err := c.Run(); err != nil {
+			fmt.Println(k.label, err)
+			continue
+		}
+		if t != nil {
+			fmt.Printf("%-6s %s: cyc=%d cov=%.2f acc=%.3f\n",
+				k.label, name, c.Stats.Cycles, t.Stats.Coverage(), t.Stats.Accuracy())
+		} else {
+			fmt.Printf("%-6s %s: cyc=%d (baseline)\n", k.label, name, c.Stats.Cycles)
+		}
+	}
+}

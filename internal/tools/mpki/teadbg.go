@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+
+	"teasim/internal/core"
+	"teasim/internal/pipeline"
+	"teasim/internal/workloads"
+)
+
+func teaDebug(name string, n uint64) {
+	w, _ := workloads.ByName(name)
+	prog := w.Build(1)
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxInstructions = n
+	cfg.MaxCycles = 100_000_000
+	c := pipeline.New(cfg, prog)
+	t := core.New(core.DefaultConfig(), c)
+	t.SetDebugWrong(0)
+	t.SetDebugWrong(4)
+	pipeline.DebugSeqLo, pipeline.DebugSeqHi = 22120, 22290
+	if err := c.Run(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	s := t.Stats
+	fmt.Printf("%s: cyc=%d act=%d inact=%d armMiss=%d termBC=%d termInc=%d termLate=%d\n",
+		name, c.Stats.Cycles, s.Activations, s.InactiveCycles, s.ArmMiss, s.TermBCMiss, s.TermIncorrect, s.TermLate)
+	fmt.Printf("   walks=%d marked=%d bcHits=%d bcEmpty=%d bcLook=%d bcUpd=%d uopsF=%d uopsR=%d prstall=%d\n",
+		s.WalksDone, s.WalkMarked, t.BC.Hits, t.BC.EmptyHits, t.BC.Lookups, t.BC.Updates, s.UopsFetched, s.UopsRenamed, s.PRStallCycles)
+	for _, pc := range []uint64{0x100d0, 0x10028, 0x1003c} {
+		m, cnt, h := t.BC.Lookup(pc)
+		fmt.Printf("   BC[%#x]: hit=%v count=%d mask=%b\n", pc, h, cnt, m)
+	}
+	fmt.Printf("   resolved=%d early=%d agree=%d late=%d blocked=%d cov=%.2f acc=%.2f flushMain=%d flushCkpt=%d flushNo=%d poisonViol=%d\n",
+		s.Resolved, s.EarlyFlushes, s.Agreements, s.LateEvents, s.BlockedFlushes, s.Coverage(), s.Accuracy(), s.FlushMainSync, s.FlushCkptSync, s.FlushNoSync, s.PoisonViolations)
+	dumpPipe(c)
+}
+
+func dumpPipe(c *pipeline.Core) {
+	ps := c.Stats
+	fmt.Printf("   pipe: flushes=%d early=%d resteer=%d fetchStallICM=%d emptyFQ=%d fetched=%d exec=%d compUops=%d retireStallROB=%d\n",
+		ps.Flushes, ps.EarlyFlushes, ps.ResteerDecode, ps.FetchStallICM, ps.EmptyFetchQ, ps.FetchedUops, ps.ExecutedUops, ps.CompanionUops, ps.RetireStallROB)
+	fmt.Printf("   mem: L1D acc=%d miss=%d  L1I acc=%d miss=%d  LLC acc=%d miss=%d dram=%d\n",
+		c.Hier.L1D.Accesses, c.Hier.L1D.Misses, c.Hier.L1I.Accesses, c.Hier.L1I.Misses,
+		c.Hier.LLC.Accesses, c.Hier.LLC.Misses, c.Hier.DRAM.Reads)
+}

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"testing"
+
+	"teasim/internal/isa"
+)
+
+// TestBuildDeterminism: building a workload twice yields byte-identical
+// programs (code and data), so every simulation is reproducible.
+func TestBuildDeterminism(t *testing.T) {
+	for _, w := range All() {
+		a := w.Build(0)
+		b := w.Build(0)
+		if a.Entry != b.Entry || a.CodeBase != b.CodeBase {
+			t.Fatalf("%s: entry/base differ", w.Name)
+		}
+		if len(a.Code) != len(b.Code) {
+			t.Fatalf("%s: code length differs", w.Name)
+		}
+		for i := range a.Code {
+			if a.Code[i] != b.Code[i] {
+				t.Fatalf("%s: instruction %d differs", w.Name, i)
+			}
+		}
+		if len(a.Data) != len(b.Data) {
+			t.Fatalf("%s: data segment count differs", w.Name)
+		}
+		for i := range a.Data {
+			if a.Data[i].Addr != b.Data[i].Addr || len(a.Data[i].Bytes) != len(b.Data[i].Bytes) {
+				t.Fatalf("%s: data segment %d differs", w.Name, i)
+			}
+			for j := range a.Data[i].Bytes {
+				if a.Data[i].Bytes[j] != b.Data[i].Bytes[j] {
+					t.Fatalf("%s: data byte %d/%d differs", w.Name, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestExpectedDeterminism: the native models are pure functions of scale.
+func TestExpectedDeterminism(t *testing.T) {
+	for _, w := range All() {
+		a := w.Expected(0)
+		b := w.Expected(0)
+		if len(a) != len(b) {
+			t.Fatalf("%s: result count differs", w.Name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: result %d differs: %d vs %d", w.Name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestScalesDiffer: scale 0 and scale 1 are genuinely different inputs.
+func TestScalesDiffer(t *testing.T) {
+	for _, w := range All() {
+		a := w.Build(0)
+		b := w.Build(1)
+		if len(a.Code) == 0 || len(b.Code) == 0 {
+			t.Fatalf("%s: empty program", w.Name)
+		}
+		sameData := len(a.Data) == len(b.Data)
+		if sameData {
+			for i := range a.Data {
+				if len(a.Data[i].Bytes) != len(b.Data[i].Bytes) {
+					sameData = false
+					break
+				}
+			}
+		}
+		// Either the data or the code must change with scale (iteration
+		// counts are immediates in the code).
+		sameCode := len(a.Code) == len(b.Code)
+		if sameCode {
+			for i := range a.Code {
+				if a.Code[i] != b.Code[i] {
+					sameCode = false
+					break
+				}
+			}
+		}
+		if sameData && sameCode {
+			t.Fatalf("%s: scale has no effect", w.Name)
+		}
+	}
+}
+
+// TestProgramsEndWithHalt: every workload's control flow terminates at an
+// explicit halt (the BP stream relies on it).
+func TestProgramsEndWithHalt(t *testing.T) {
+	for _, w := range All() {
+		p := w.Build(0)
+		found := false
+		for i := range p.Code {
+			if p.Code[i].Op == isa.OpHalt {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no halt instruction", w.Name)
+		}
+	}
+}
+
+// TestResultAddrLayout: result words do not collide with kernel data (which
+// the layout allocator places from 0x1000000 up).
+func TestResultAddrLayout(t *testing.T) {
+	if ResultAddr(0) >= 0x1000000 {
+		t.Fatal("result region overlaps the data arena")
+	}
+	if ResultAddr(1)-ResultAddr(0) != 8 {
+		t.Fatal("result stride must be one word")
+	}
+}

@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"testing"
+
+	"teasim/internal/emu"
+)
+
+// verify runs a workload at the given scale on the functional emulator and
+// compares the result words against the native Go model.
+func verify(t *testing.T, w Workload, scale int) {
+	t.Helper()
+	prog := w.Build(scale)
+	m := emu.New(prog)
+	if _, err := m.Run(2_000_000_000); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if !m.Halted {
+		t.Fatalf("%s: did not halt", w.Name)
+	}
+	want := w.Expected(scale)
+	for i, exp := range want {
+		got := m.Mem.ReadU64(ResultAddr(i))
+		if got != exp {
+			t.Fatalf("%s: result[%d] = %d, want %d", w.Name, i, got, exp)
+		}
+	}
+	t.Logf("%s: %d instructions, %d result words OK", w.Name, m.Count, len(want))
+}
+
+func TestWorkloadsFunctionalTiny(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) { verify(t, w, 0) })
+	}
+}
+
+// TestWorkloadsFunctionalDefault validates the benchmark-scale inputs too
+// (slower; still well within test budget on the pure emulator).
+func TestWorkloadsFunctionalDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) { verify(t, w, 1) })
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("suite has %d workloads, want 17", len(all))
+	}
+	seen := map[string]bool{}
+	simple := 0
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Flow == Simple {
+			simple++
+		}
+	}
+	// Paper §V-C: all six GAP kernels plus xz are simple control flow.
+	if simple != 7 {
+		t.Fatalf("simple-flow workloads = %d, want 7", simple)
+	}
+	if _, ok := ByName("mcf"); !ok {
+		t.Fatal("ByName failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName matched a non-existent workload")
+	}
+}

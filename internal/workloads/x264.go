@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"teasim/internal/asm"
+	"teasim/internal/isa"
+)
+
+// X264 is a motion-estimation kernel in the style of x264's SAD search: for
+// each macroblock the encoder scans candidate offsets and accumulates a sum
+// of absolute differences with an early-termination branch ("already worse
+// than the best candidate?") — a classic data-dependent H2P ladder — plus a
+// min-update branch per candidate.
+func X264() Workload {
+	const (
+		frameW   = 256
+		frameH   = 64
+		blockPix = 16 // pixels compared per candidate (1 row of a 16x16 MB)
+		searchR  = 8  // candidate offsets per block
+	)
+	genFrames := func() (cur, ref []byte) {
+		r := newRng(0x264)
+		n := frameW * frameH
+		cur = make([]byte, n)
+		ref = make([]byte, n)
+		for i := range ref {
+			ref[i] = byte(r.intn(256))
+		}
+		// The current frame is the reference shifted by a per-region motion
+		// vector plus noise, so good matches exist but must be searched for.
+		for i := range cur {
+			shift := 1 + (i/2048)%4
+			j := i + shift
+			if j >= n {
+				j = i
+			}
+			v := int(ref[j])
+			if r.intn(8) == 0 {
+				v += r.intn(16) - 8
+			}
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			cur[i] = byte(v)
+		}
+		return
+	}
+	build := func(scale int) *isa.Program {
+		blocks := specIters(scale, 6) * 2048
+		cur, ref := genFrames()
+		b := asm.NewBuilder()
+		l := newLayout()
+		curA := l.alloc(len(cur) + 64)
+		refA := l.alloc(len(ref) + 64)
+		b.Data(curA, cur)
+		b.Data(refA, ref)
+
+		b.Label("main")
+		b.LiU(isa.R1, curA)
+		b.LiU(isa.R2, refA)
+		b.Li(isa.R9, int64(blocks))
+		b.Li(isa.R20, 0)        // total SAD of chosen candidates
+		b.Li(isa.R21, 0)        // early terminations
+		b.Li(isa.R22, 0)        // block index
+		b.Li(isa.R23, 0x264AB5) // rng for block placement
+		lim := int64(frameW*frameH - blockPix - searchR - 1)
+		b.Label("blk")
+		// Block base: pseudo-random position (realistic scattered access).
+		emitXorshift(b, isa.R23, isa.R28)
+		b.AndI(isa.R3, isa.R23, 0x3FFF)
+		b.Li(isa.R4, lim)
+		b.Blt(isa.R3, isa.R4, "posok")
+		b.Sub(isa.R3, isa.R3, isa.R4)
+		b.Label("posok")
+		b.Li(isa.R10, 1<<20) // best = INF
+		b.Li(isa.R11, 0)     // candidate offset
+		b.Label("cand")
+		// SAD over blockPix pixels with early termination.
+		b.Li(isa.R12, 0) // sad
+		b.Li(isa.R13, 0) // k
+		b.Label("sad")
+		b.Add(isa.R14, isa.R1, isa.R3)
+		b.Add(isa.R14, isa.R14, isa.R13)
+		b.Ld1(isa.R15, isa.R14, 0) // cur[base+k]
+		b.Add(isa.R14, isa.R2, isa.R3)
+		b.Add(isa.R14, isa.R14, isa.R11)
+		b.Add(isa.R14, isa.R14, isa.R13)
+		b.Ld1(isa.R16, isa.R14, 0) // ref[base+off+k]
+		b.Sub(isa.R17, isa.R15, isa.R16)
+		b.Bge(isa.R17, isa.R0, "abs")
+		b.Sub(isa.R17, isa.R0, isa.R17)
+		b.Label("abs")
+		b.Add(isa.R12, isa.R12, isa.R17)
+		b.Bge(isa.R12, isa.R10, "terminate") // H2P: already worse than best?
+		b.AddI(isa.R13, isa.R13, 1)
+		b.SltI(isa.R14, isa.R13, blockPix)
+		b.Bnez(isa.R14, "sad")
+		// Full SAD computed: min-update branch (H2P: data-dependent).
+		b.Bge(isa.R12, isa.R10, "candnext")
+		b.Mov(isa.R10, isa.R12)
+		b.Jmp("candnext")
+		b.Label("terminate")
+		b.AddI(isa.R21, isa.R21, 1)
+		b.Label("candnext")
+		b.AddI(isa.R11, isa.R11, 1)
+		b.SltI(isa.R14, isa.R11, searchR)
+		b.Bnez(isa.R14, "cand")
+		b.Add(isa.R20, isa.R20, isa.R10)
+		b.AddI(isa.R22, isa.R22, 1)
+		b.Blt(isa.R22, isa.R9, "blk")
+		storeResult(b, 0, isa.R20)
+		storeResult(b, 1, isa.R21)
+		b.Halt()
+		return b.MustBuild()
+	}
+	expected := func(scale int) []uint64 {
+		blocks := specIters(scale, 6) * 2048
+		cur, ref := genFrames()
+		r := newRng(0)
+		*r = rng(0x264AB5)
+		lim := uint64(frameW*frameH - blockPix - searchR - 1)
+		var total, terms uint64
+		for bi := 0; bi < blocks; bi++ {
+			base := r.next() & 0x3FFF
+			if base >= lim {
+				base -= lim
+			}
+			best := uint64(1 << 20)
+			for off := uint64(0); off < searchR; off++ {
+				sad := uint64(0)
+				terminated := false
+				for k := uint64(0); k < blockPix; k++ {
+					a := int64(cur[base+k])
+					c := int64(ref[base+off+k])
+					d := a - c
+					if d < 0 {
+						d = -d
+					}
+					sad += uint64(d)
+					if sad >= best {
+						terms++
+						terminated = true
+						break
+					}
+				}
+				if !terminated && sad < best {
+					best = sad
+				}
+			}
+			total += best
+		}
+		return []uint64{total, terms}
+	}
+	return Workload{Name: "x264", Flow: Complex, Build: build, Expected: expected}
+}

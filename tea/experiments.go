@@ -1,0 +1,369 @@
+package tea
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// ExpOptions scopes an experiment reproduction run.
+type ExpOptions struct {
+	// MaxInstructions per workload per configuration (default 1M).
+	MaxInstructions uint64
+	// Scale selects workload input sizes (default 1 = paper-like).
+	Scale int
+	// Workloads restricts the suite (default: all 16).
+	Workloads []string
+}
+
+func (o ExpOptions) fill() ExpOptions {
+	if o.MaxInstructions == 0 {
+		o.MaxInstructions = 1_000_000
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = Workloads()
+	}
+	return o
+}
+
+func (o ExpOptions) cfg(mode Mode) Config {
+	return Config{Mode: mode, MaxInstructions: o.MaxInstructions, Scale: o.Scale}
+}
+
+// Geomean returns the geometric mean of xs (1.0 for empty input).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// SpeedupRow is one workload's outcome in a speedup experiment.
+type SpeedupRow struct {
+	Workload string
+	Base     Result
+	With     Result
+	Speedup  float64
+}
+
+// runSpeedups measures cycles(baseline)/cycles(mode) per workload.
+func runSpeedups(o ExpOptions, mode Mode, modeCfg func(Config) Config) ([]SpeedupRow, error) {
+	var rows []SpeedupRow
+	for _, name := range o.Workloads {
+		base, err := Run(name, o.cfg(ModeBaseline))
+		if err != nil {
+			return nil, err
+		}
+		cfg := o.cfg(mode)
+		if modeCfg != nil {
+			cfg = modeCfg(cfg)
+		}
+		with, err := Run(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SpeedupRow{
+			Workload: name,
+			Base:     base,
+			With:     with,
+			Speedup:  float64(base.Cycles) / float64(with.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// Fig5 reproduces Fig. 5: per-benchmark performance of the on-core TEA
+// thread over the baseline (paper geomean: +10.1%).
+func Fig5(o ExpOptions) ([]SpeedupRow, error) {
+	return runSpeedups(o.fill(), ModeTEA, nil)
+}
+
+// Fig6 reproduces Fig. 6: total branch MPKI per benchmark on the baseline.
+func Fig6(o ExpOptions) ([]Result, error) {
+	o = o.fill()
+	var rows []Result
+	for _, name := range o.Workloads {
+		r, err := Run(name, o.cfg(ModeBaseline))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Fig7 reproduces Fig. 7: the breakdown of retired mispredictions into
+// covered / late / incorrect / uncovered under the TEA thread.
+func Fig7(o ExpOptions) ([]Result, error) {
+	o = o.fill()
+	var rows []Result
+	for _, name := range o.Workloads {
+		r, err := Run(name, o.cfg(ModeTEA))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// Fig8Row pairs the TEA and Branch Runahead speedups for one workload.
+type Fig8Row struct {
+	Workload   string
+	SimpleFlow bool
+	TEA        float64
+	Runahead   float64
+}
+
+// Fig8 reproduces Fig. 8: TEA vs Branch Runahead, with the paper's
+// simple/complex control-flow split (paper: 10.1% vs 7.3% geomean).
+func Fig8(o ExpOptions) ([]Fig8Row, error) {
+	o = o.fill()
+	teaRows, err := runSpeedups(o, ModeTEA, nil)
+	if err != nil {
+		return nil, err
+	}
+	brRows, err := runSpeedups(o, ModeBranchRunahead, nil)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for i := range teaRows {
+		rows = append(rows, Fig8Row{
+			Workload:   teaRows[i].Workload,
+			SimpleFlow: SimpleFlow(teaRows[i].Workload),
+			TEA:        teaRows[i].Speedup,
+			Runahead:   brRows[i].Speedup,
+		})
+	}
+	return rows, nil
+}
+
+// Fig9 reproduces Fig. 9: the TEA thread on a dedicated execution engine
+// (paper: 12.3% vs 10.1% on-core).
+func Fig9(o ExpOptions) ([]SpeedupRow, error) {
+	return runSpeedups(o.fill(), ModeTEADedicated, nil)
+}
+
+// Fig9Big reproduces §V-D's second data point: the TEA thread on an
+// execution engine as large as the main core's backend (paper: +12.8%,
+// "very little additional benefit" over the 16-unit engine).
+func Fig9Big(o ExpOptions) ([]SpeedupRow, error) {
+	return runSpeedups(o.fill(), ModeTEABigEngine, nil)
+}
+
+// Wide16 reproduces §IV-H's comparison point: a true 16-wide frontend
+// without precomputation (paper: ~+2.8% for ~10% more area, versus the TEA
+// thread's +10.1% for ~3.5%).
+func Wide16(o ExpOptions) ([]SpeedupRow, error) {
+	return runSpeedups(o.fill(), ModeWide16, nil)
+}
+
+// Fig10Config identifies one bar group of Fig. 10.
+type Fig10Config struct {
+	Name string
+	Cfg  func(Config) Config
+	Mode Mode
+}
+
+// Fig10Configs returns the five thread-construction configurations compared
+// in Fig. 10: full TEA, only-loops, no-masks, no-mem, and Branch Runahead.
+func Fig10Configs() []Fig10Config {
+	id := func(c Config) Config { return c }
+	return []Fig10Config{
+		{Name: "tea", Mode: ModeTEA, Cfg: id},
+		{Name: "onlyloops", Mode: ModeTEA, Cfg: func(c Config) Config { c.OnlyLoops = true; return c }},
+		{Name: "nomasks", Mode: ModeTEA, Cfg: func(c Config) Config { c.NoMasks = true; return c }},
+		{Name: "nomem", Mode: ModeTEA, Cfg: func(c Config) Config { c.NoMem = true; return c }},
+		{Name: "runahead", Mode: ModeBranchRunahead, Cfg: id},
+	}
+}
+
+// Fig10Row is one workload × configuration cell of Fig. 10: precomputation
+// accuracy (a), misprediction coverage (b), and cycles saved per covered
+// branch (c).
+type Fig10Row struct {
+	Workload string
+	Config   string
+	Accuracy float64
+	Coverage float64
+	Saved    float64
+}
+
+// Fig10 reproduces Fig. 10 (accuracy, coverage, timeliness ablations).
+func Fig10(o ExpOptions) ([]Fig10Row, error) {
+	o = o.fill()
+	var rows []Fig10Row
+	for _, fc := range Fig10Configs() {
+		for _, name := range o.Workloads {
+			r, err := Run(name, fc.Cfg(o.cfg(fc.Mode)))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig10Row{
+				Workload: name,
+				Config:   fc.Name,
+				Accuracy: r.Accuracy,
+				Coverage: r.Coverage,
+				Saved:    r.AvgCyclesSaved,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Table3 reproduces Table III: the extra dynamic uop footprint of the TEA
+// thread per benchmark (paper average: +31.9%).
+func Table3(o ExpOptions) ([]Result, error) {
+	return Fig7(o) // the same runs carry UopOverheadPct
+}
+
+// PrefetchOnly reproduces the §V-B aside: TEA with early resolution
+// disabled, isolating the data-prefetch side effect (paper: +1.2% overall).
+func PrefetchOnly(o ExpOptions) ([]SpeedupRow, error) {
+	o = o.fill()
+	return runSpeedups(o, ModeTEA, func(c Config) Config {
+		c.DisableEarlyFlush = true
+		return c
+	})
+}
+
+// --- report rendering ---
+
+// PrintSpeedups renders speedup rows with a geomean footer.
+func PrintSpeedups(w io.Writer, title string, rows []SpeedupRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\n", title)
+	fmt.Fprintf(tw, "workload\tbase cyc\twith cyc\tspeedup\tcoverage\taccuracy\n")
+	var sp []float64
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%+.1f%%\t%.0f%%\t%.1f%%\n",
+			r.Workload, r.Base.Cycles, r.With.Cycles, 100*(r.Speedup-1),
+			100*r.With.Coverage, 100*r.With.Accuracy)
+		sp = append(sp, r.Speedup)
+	}
+	fmt.Fprintf(tw, "geomean\t\t\t%+.1f%%\t\t\n", 100*(Geomean(sp)-1))
+	tw.Flush()
+}
+
+// PrintFig8 renders the TEA-vs-Branch-Runahead comparison with the paper's
+// simple/complex control-flow grouping.
+func PrintFig8(w io.Writer, rows []Fig8Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Fig 8: TEA vs Branch Runahead\n")
+	fmt.Fprintf(tw, "workload\tflow\tTEA\tRunahead\n")
+	grouped := append([]Fig8Row(nil), rows...)
+	sort.SliceStable(grouped, func(i, j int) bool {
+		return grouped[i].SimpleFlow && !grouped[j].SimpleFlow
+	})
+	var teaAll, brAll, teaS, brS, teaC, brC []float64
+	for _, r := range grouped {
+		flow := "complex"
+		if r.SimpleFlow {
+			flow = "simple"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%+.1f%%\t%+.1f%%\n", r.Workload, flow,
+			100*(r.TEA-1), 100*(r.Runahead-1))
+		teaAll = append(teaAll, r.TEA)
+		brAll = append(brAll, r.Runahead)
+		if r.SimpleFlow {
+			teaS, brS = append(teaS, r.TEA), append(brS, r.Runahead)
+		} else {
+			teaC, brC = append(teaC, r.TEA), append(brC, r.Runahead)
+		}
+	}
+	fmt.Fprintf(tw, "geomean simple\t\t%+.1f%%\t%+.1f%%\n", 100*(Geomean(teaS)-1), 100*(Geomean(brS)-1))
+	fmt.Fprintf(tw, "geomean complex\t\t%+.1f%%\t%+.1f%%\n", 100*(Geomean(teaC)-1), 100*(Geomean(brC)-1))
+	fmt.Fprintf(tw, "geomean all\t\t%+.1f%%\t%+.1f%%\n", 100*(Geomean(teaAll)-1), 100*(Geomean(brAll)-1))
+	tw.Flush()
+}
+
+// PrintFig6 renders the MPKI table.
+func PrintFig6(w io.Writer, rows []Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Fig 6: branch MPKI (baseline)\n")
+	fmt.Fprintf(tw, "workload\tMPKI\tcond misp\ttarget misp\tIPC\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%d\t%d\t%.2f\n", r.Workload, r.MPKI,
+			r.CondMispredicts, r.IndMispredicts, r.IPC)
+	}
+	tw.Flush()
+}
+
+// PrintFig7 renders the misprediction-coverage breakdown.
+func PrintFig7(w io.Writer, rows []Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Fig 7: misprediction breakdown under TEA\n")
+	fmt.Fprintf(tw, "workload\tcovered\tlate\tincorrect\tuncovered\tcoverage\taccuracy\n")
+	var cov, acc []float64
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.0f%%\t%.1f%%\n", r.Workload,
+			r.Covered, r.Late, r.Incorrect, r.Uncovered, 100*r.Coverage, 100*r.Accuracy)
+		cov = append(cov, r.Coverage)
+		acc = append(acc, r.Accuracy)
+	}
+	fmt.Fprintf(tw, "mean\t\t\t\t\t%.0f%%\t%.1f%%\n", 100*mean(cov), 100*mean(acc))
+	tw.Flush()
+}
+
+// PrintFig10 renders the ablation grid.
+func PrintFig10(w io.Writer, rows []Fig10Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Fig 10: thread-construction ablations\n")
+	fmt.Fprintf(tw, "config\tworkload\taccuracy\tcoverage\tsaved/branch\n")
+	agg := map[string][]Fig10Row{}
+	var order []string
+	for _, r := range rows {
+		if _, seen := agg[r.Config]; !seen {
+			order = append(order, r.Config)
+		}
+		agg[r.Config] = append(agg[r.Config], r)
+		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%.0f%%\t%.1f\n", r.Config, r.Workload,
+			100*r.Accuracy, 100*r.Coverage, r.Saved)
+	}
+	for _, cfg := range order {
+		var acc, cov, saved []float64
+		for _, r := range agg[cfg] {
+			acc = append(acc, r.Accuracy)
+			cov = append(cov, r.Coverage)
+			saved = append(saved, r.Saved)
+		}
+		fmt.Fprintf(tw, "mean %s\t\t%.1f%%\t%.0f%%\t%.1f\n", cfg,
+			100*mean(acc), 100*mean(cov), mean(saved))
+	}
+	tw.Flush()
+}
+
+// PrintTable3 renders the dynamic-footprint table.
+func PrintTable3(w io.Writer, rows []Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Table III: extra dynamic uops fetched by the TEA thread\n")
+	fmt.Fprintf(tw, "workload\toverhead\n")
+	var ov []float64
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t+%.1f%%\n", r.Workload, r.UopOverheadPct)
+		ov = append(ov, r.UopOverheadPct)
+	}
+	fmt.Fprintf(tw, "mean\t+%.1f%%\n", mean(ov))
+	tw.Flush()
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,111 @@
+package tea
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// SensRow is one point of a structure-size sensitivity sweep.
+type SensRow struct {
+	Workload string
+	Value    int
+	Speedup  float64 // over the same workload's baseline
+	Coverage float64
+	Accuracy float64
+}
+
+// SensParam identifies a sweepable TEA/core structure.
+type SensParam string
+
+// Sweepable parameters (the paper's §IV-B/C sensitivity discussions).
+const (
+	SensBlockCache SensParam = "blockcache" // Block Cache data entries
+	SensFillBuffer SensParam = "fillbuffer" // Fill Buffer size
+	SensH2PDecay   SensParam = "h2pdecay"   // H2P decrement period
+	SensLead       SensParam = "lead"       // shadow fetch queue depth
+	SensFetchQueue SensParam = "fetchqueue" // main fetch queue entries
+)
+
+// SensDefaults returns the sweep values used by the harness for a parameter.
+func SensDefaults(p SensParam) []int {
+	switch p {
+	case SensBlockCache:
+		return []int{64, 128, 256, 512, 1024, 2048}
+	case SensFillBuffer:
+		return []int{128, 256, 512, 1024}
+	case SensH2PDecay:
+		return []int{10_000, 50_000, 250_000}
+	case SensLead:
+		return []int{1, 2, 4, 8, 16}
+	case SensFetchQueue:
+		return []int{32, 64, 128, 256}
+	}
+	return nil
+}
+
+// Sensitivity sweeps one parameter over the given values (nil = defaults)
+// for every workload in opts, measuring TEA speedup over the baseline.
+func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) {
+	opts = opts.fill()
+	if values == nil {
+		values = SensDefaults(p)
+	}
+	var rows []SensRow
+	for _, name := range opts.Workloads {
+		base, err := Run(name, opts.cfg(ModeBaseline))
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range values {
+			cfg := opts.cfg(ModeTEA)
+			switch p {
+			case SensBlockCache:
+				cfg.BlockCacheEntries = v
+			case SensFillBuffer:
+				cfg.FillBufferSize = v
+			case SensH2PDecay:
+				cfg.H2PDecayPeriod = uint64(v)
+			case SensLead:
+				cfg.MaxLeadBlocks = v
+			case SensFetchQueue:
+				cfg.FetchQueueSize = v
+			default:
+				return nil, fmt.Errorf("tea: unknown sensitivity parameter %q", p)
+			}
+			r, err := Run(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SensRow{
+				Workload: name,
+				Value:    v,
+				Speedup:  float64(base.Cycles) / float64(r.Cycles),
+				Coverage: r.Coverage,
+				Accuracy: r.Accuracy,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintSensitivity renders a sensitivity sweep with per-value geomeans.
+func PrintSensitivity(w io.Writer, p SensParam, rows []SensRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Sensitivity: %s\n", p)
+	fmt.Fprintf(tw, "workload\tvalue\tspeedup\tcoverage\taccuracy\n")
+	byValue := map[int][]float64{}
+	var order []int
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%+.1f%%\t%.0f%%\t%.1f%%\n",
+			r.Workload, r.Value, 100*(r.Speedup-1), 100*r.Coverage, 100*r.Accuracy)
+		if _, seen := byValue[r.Value]; !seen {
+			order = append(order, r.Value)
+		}
+		byValue[r.Value] = append(byValue[r.Value], r.Speedup)
+	}
+	for _, v := range order {
+		fmt.Fprintf(tw, "geomean @%d\t\t%+.1f%%\t\t\n", v, 100*(Geomean(byValue[v])-1))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,270 @@
+// Package tea is the public API of the TEA branch-precomputation
+// reproduction: it runs the paper's benchmark suite on the baseline
+// out-of-order core with the TEA thread, the Branch Runahead comparison
+// baseline, or no precomputation at all, and reports the metrics behind
+// every table and figure in the paper's evaluation (§V).
+//
+// Quick start:
+//
+//	res, err := tea.Run("bfs", tea.Config{Mode: tea.ModeTEA})
+//	fmt.Printf("IPC %.2f, coverage %.0f%%\n", res.IPC, 100*res.Coverage)
+//
+// Compare against the baseline core:
+//
+//	base, _ := tea.Run("bfs", tea.Config{Mode: tea.ModeBaseline})
+//	fmt.Printf("speedup %.2fx\n", float64(base.Cycles)/float64(res.Cycles))
+package tea
+
+import (
+	"fmt"
+
+	"teasim/internal/core"
+	"teasim/internal/pipeline"
+	"teasim/internal/runahead"
+	"teasim/internal/workloads"
+)
+
+// Mode selects the precomputation scheme attached to the baseline core.
+type Mode int
+
+// Modes.
+const (
+	// ModeBaseline runs the Table I out-of-order core with no
+	// precomputation.
+	ModeBaseline Mode = iota
+	// ModeTEA attaches the paper's TEA thread using on-core resources
+	// (the headline configuration, Fig. 5).
+	ModeTEA
+	// ModeTEADedicated runs the TEA thread on a dedicated execution engine
+	// with 16 execution units (§V-D, Fig. 9).
+	ModeTEADedicated
+	// ModeBranchRunahead attaches the prior-work Branch Runahead engine
+	// (§V-C, Fig. 8).
+	ModeBranchRunahead
+	// ModeTEABigEngine gives the TEA thread a dedicated engine as large as
+	// the main core's backend (§V-D: "a much larger execution engine...
+	// provided very little additional benefit (12.8%)").
+	ModeTEABigEngine
+	// ModeWide16 runs a TEA-less 16-wide frontend baseline (§IV-H: a true
+	// 16-wide core costs ~10% area for only 2.8% performance, because
+	// predictor bandwidth, not fetch width, is the limiter).
+	ModeWide16
+)
+
+// String returns the mode name used in reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeTEA:
+		return "tea"
+	case ModeTEADedicated:
+		return "tea-dedicated"
+	case ModeBranchRunahead:
+		return "runahead"
+	case ModeTEABigEngine:
+		return "tea-bigengine"
+	case ModeWide16:
+		return "wide16"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config controls one simulation run.
+type Config struct {
+	Mode Mode
+
+	// MaxInstructions bounds the simulated region (0 = run to completion).
+	// The experiment harness default is 1M instructions per workload.
+	MaxInstructions uint64
+	// Scale selects the workload input size (0 = tiny/test, 1 = default).
+	Scale int
+	// CoSim verifies every retired instruction against the golden
+	// functional model (slower; on by default in tests).
+	CoSim bool
+
+	// Fig. 10 ablation switches (TEA modes only).
+	OnlyLoops         bool // loop-confined chains ("only loops")
+	NoMasks           bool // no mask combining across control flows
+	NoMem             bool // no memory dependencies in the walk
+	DisableEarlyFlush bool // precompute but never flush (§V-B prefetch-only)
+
+	// Structure-size overrides for the paper's sensitivity studies
+	// (0 = paper default). See §IV-B (H2P decrement period, Block Cache
+	// capacity), §IV-C (Fill Buffer size), and §III-B (fetch-queue-bounded
+	// run-ahead distance).
+	BlockCacheEntries int    // Block Cache data entries (default 512)
+	FillBufferSize    int    // Fill Buffer uops (default 512)
+	H2PDecayPeriod    uint64 // instructions between H2P decrements (default 50k)
+	MaxLeadBlocks     int    // shadow fetch queue depth (default 2)
+	FetchQueueSize    int    // main fetch queue entries (default 128)
+}
+
+// Result reports one run's performance and precomputation metrics.
+type Result struct {
+	Workload string
+	Mode     Mode
+
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+
+	// Branch behaviour (Fig. 6): mispredictions counted against the
+	// original branch-predictor decision.
+	MPKI            float64
+	CondMispredicts uint64
+	IndMispredicts  uint64
+
+	// Precomputation quality (Figs. 7 and 10). Coverage buckets partition
+	// the retired mispredictions.
+	Accuracy       float64 // correct precomputations / precomputations
+	Coverage       float64 // covered / all retired mispredictions
+	Covered        uint64
+	Late           uint64
+	Incorrect      uint64
+	Uncovered      uint64
+	AvgCyclesSaved float64 // per covered misprediction (Fig. 10c)
+	EarlyFlushes   uint64
+
+	// Footprint (Table III): extra dynamic uops fetched for precomputation,
+	// as a percentage of main-thread fetched uops.
+	UopOverheadPct float64
+}
+
+// Workloads returns the names of the 16-benchmark suite in report order.
+func Workloads() []string {
+	var names []string
+	for _, w := range workloads.All() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// SimpleFlow reports whether the workload is in the paper's "simple control
+// flow" class (§V-C: the GAP kernels and xz).
+func SimpleFlow(name string) bool {
+	w, ok := workloads.ByName(name)
+	return ok && w.Flow == workloads.Simple
+}
+
+// Run simulates one workload under the given configuration.
+func Run(workload string, cfg Config) (Result, error) {
+	w, ok := workloads.ByName(workload)
+	if !ok {
+		return Result{}, fmt.Errorf("tea: unknown workload %q (see tea.Workloads)", workload)
+	}
+	prog := w.Build(cfg.Scale)
+
+	pcfg := pipeline.DefaultConfig()
+	pcfg.CoSim = cfg.CoSim
+	pcfg.MaxInstructions = cfg.MaxInstructions
+	pcfg.MaxCycles = 400_000_000
+	switch cfg.Mode {
+	case ModeTEADedicated:
+		pcfg.CompanionDedicated = true
+		pcfg.CompanionPorts = 16
+	case ModeTEABigEngine:
+		pcfg.CompanionDedicated = true
+		pcfg.CompanionPorts = pcfg.ALUPorts + pcfg.LDPorts + pcfg.LDSTPorts + pcfg.FPPorts
+	case ModeWide16:
+		// Double the frontend width only; the predictor still delivers one
+		// taken branch per cycle (the paper's point).
+		pcfg.FrontWidth = 16
+		pcfg.FrontQCap = 192
+	}
+	if cfg.FetchQueueSize > 0 {
+		pcfg.FetchQueueSize = cfg.FetchQueueSize
+	}
+	c := pipeline.New(pcfg, prog)
+
+	var teaThread *core.TEA
+	var br *runahead.BR
+	switch cfg.Mode {
+	case ModeTEA, ModeTEADedicated, ModeTEABigEngine:
+		tcfg := core.DefaultConfig()
+		tcfg.OnlyLoops = cfg.OnlyLoops
+		tcfg.NoMasks = cfg.NoMasks
+		tcfg.NoMem = cfg.NoMem
+		tcfg.DisableEarlyFlush = cfg.DisableEarlyFlush
+		if cfg.BlockCacheEntries > 0 {
+			// Keep 8-way associativity; scale the set count to the next
+			// power of two (the index is computed by masking).
+			sets := 1
+			for sets*tcfg.BlockCacheWays < cfg.BlockCacheEntries {
+				sets *= 2
+			}
+			tcfg.BlockCacheSets = sets
+		}
+		if cfg.FillBufferSize > 0 {
+			tcfg.FillBufSize = cfg.FillBufferSize
+		}
+		if cfg.H2PDecayPeriod > 0 {
+			tcfg.H2PDecayPeriod = cfg.H2PDecayPeriod
+		}
+		if cfg.MaxLeadBlocks > 0 {
+			tcfg.MaxLeadBlocks = cfg.MaxLeadBlocks
+		}
+		teaThread = core.New(tcfg, c)
+	case ModeBranchRunahead:
+		br = runahead.New(runahead.DefaultConfig(), c)
+	}
+
+	if err := c.Run(); err != nil {
+		return Result{}, fmt.Errorf("tea: %s/%s: %w", workload, cfg.Mode, err)
+	}
+
+	res := Result{
+		Workload:        workload,
+		Mode:            cfg.Mode,
+		Cycles:          c.Stats.Cycles,
+		Instructions:    c.Stats.Retired,
+		IPC:             c.Stats.IPC(),
+		MPKI:            c.Stats.MPKI(),
+		CondMispredicts: c.Stats.CondMispredicts,
+		IndMispredicts:  c.Stats.IndMispredicts,
+		Accuracy:        1,
+	}
+	if teaThread != nil {
+		s := &teaThread.Stats
+		res.Accuracy = s.Accuracy()
+		res.Coverage = s.Coverage()
+		res.Covered = s.CoveredMisp
+		res.Late = s.LateMisp
+		res.Incorrect = s.IncorrectMisp
+		res.Uncovered = s.UncoveredMisp
+		res.AvgCyclesSaved = s.AvgCyclesSaved()
+		res.EarlyFlushes = s.EarlyFlushes
+		if c.Stats.FetchedUops > 0 {
+			res.UopOverheadPct = 100 * float64(s.UopsFetched) / float64(c.Stats.FetchedUops)
+		}
+	}
+	if br != nil {
+		s := &br.Stats
+		res.Accuracy = s.Accuracy()
+		res.Coverage = s.Coverage()
+		res.Covered = s.CoveredMisp
+		res.Incorrect = s.IncorrectMisp
+		res.Uncovered = s.UncoveredMisp
+		if s.CoveredMisp > 0 {
+			res.AvgCyclesSaved = float64(s.CyclesSaved) / float64(s.CoveredMisp)
+		}
+		if c.Stats.FetchedUops > 0 {
+			res.UopOverheadPct = 100 * float64(s.EngineUops) / float64(c.Stats.FetchedUops)
+		}
+	}
+	return res, nil
+}
+
+// Speedup runs a workload under two configurations and returns cyclesA /
+// cyclesB (so >1 means B is faster).
+func Speedup(workload string, a, b Config) (float64, Result, Result, error) {
+	ra, err := Run(workload, a)
+	if err != nil {
+		return 0, Result{}, Result{}, err
+	}
+	rb, err := Run(workload, b)
+	if err != nil {
+		return 0, Result{}, Result{}, err
+	}
+	return float64(ra.Cycles) / float64(rb.Cycles), ra, rb, nil
+}

@@ -1,0 +1,44 @@
+GO ?= go
+
+.PHONY: all build test tier1 tier2 race bench bench-experiments profile-cpu profile-mem clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier 1: the must-stay-green gate (fast, run on every change).
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+# Tier 2: static analysis plus the full suite under the race detector.
+# Includes TestEngineDeterminismAcrossWorkers, which drives real simulations
+# through the 8-worker pool and compares rows against a sequential run.
+tier2:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+race: tier2
+
+# Microbenchmark of the pipeline hot path; watch the allocs/kinstr metric.
+bench:
+	$(GO) test ./internal/pipeline/ -bench CorePerCycle -benchtime 2s -run XXX
+
+# Figure/table benchmarks at reduced budgets (see bench_test.go).
+bench-experiments:
+	$(GO) test -bench 'Fig10|Fig5' -benchtime=1x -run XXX
+
+# Profiling workflow (see README "Profiling and parallelism"): run an
+# experiment under the profiler, then inspect with `go tool pprof`.
+profile-cpu:
+	$(GO) run ./cmd/teaexp -exp fig5 -n 200000 -cpuprofile cpu.pprof
+	@echo "inspect with: go tool pprof -top cpu.pprof"
+
+profile-mem:
+	$(GO) run ./cmd/teaexp -exp fig5 -n 200000 -memprofile mem.pprof
+	@echo "inspect with: go tool pprof -top -sample_index=alloc_objects mem.pprof"
+
+clean:
+	rm -f cpu.pprof mem.pprof

@@ -10,6 +10,7 @@ package teasim_test
 
 import (
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,16 +32,60 @@ func opts(n uint64) tea.ExpOptions {
 	return tea.ExpOptions{MaxInstructions: n, Scale: 1}
 }
 
+// allocMeter reports heap allocations per simulated kilo-instruction, the
+// bench-trajectory metric that makes hot-path allocation regressions visible
+// regardless of how many simulated instructions a benchmark covers. Start it
+// before the loop, add each iteration's simulated instruction count, and
+// report after the loop.
+type allocMeter struct {
+	startMallocs uint64
+	instrs       uint64
+}
+
+func startAllocMeter(b *testing.B) *allocMeter {
+	b.ReportAllocs()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &allocMeter{startMallocs: ms.Mallocs}
+}
+
+func (m *allocMeter) add(instrs uint64) { m.instrs += instrs }
+
+// addRows accumulates the simulated instructions behind a result set.
+func (m *allocMeter) addRows(rows []tea.Result) {
+	for _, r := range rows {
+		m.instrs += r.Instructions
+	}
+}
+
+// addSpeedups accumulates both halves of a speedup experiment.
+func (m *allocMeter) addSpeedups(rows []tea.SpeedupRow) {
+	for _, r := range rows {
+		m.instrs += r.Base.Instructions + r.With.Instructions
+	}
+}
+
+func (m *allocMeter) report(b *testing.B) {
+	if m.instrs == 0 {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.Mallocs-m.startMallocs)/(float64(m.instrs)/1000), "allocs/kinstr")
+}
+
 // BenchmarkFig5TEASpeedup regenerates Fig. 5: per-benchmark speedup of the
 // on-core TEA thread (paper geomean +10.1%). Reported metric: geomean
 // speedup percentage.
 func BenchmarkFig5TEASpeedup(b *testing.B) {
+	m := startAllocMeter(b)
 	n := benchBudget(150_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Fig5(opts(n))
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addSpeedups(rows)
 		var sp []float64
 		for _, r := range rows {
 			sp = append(sp, r.Speedup)
@@ -53,17 +98,20 @@ func BenchmarkFig5TEASpeedup(b *testing.B) {
 			b.Log("\n" + sb.String())
 		}
 	}
+	m.report(b)
 }
 
 // BenchmarkFig6MPKI regenerates Fig. 6: baseline branch MPKI. Reported
 // metric: mean MPKI across the suite.
 func BenchmarkFig6MPKI(b *testing.B) {
+	m := startAllocMeter(b)
 	n := benchBudget(150_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Fig6(opts(n))
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addRows(rows)
 		sum := 0.0
 		for _, r := range rows {
 			sum += r.MPKI
@@ -75,18 +123,21 @@ func BenchmarkFig6MPKI(b *testing.B) {
 			b.Log("\n" + sb.String())
 		}
 	}
+	m.report(b)
 }
 
 // BenchmarkFig7Coverage regenerates Fig. 7: the covered/late/incorrect/
 // uncovered breakdown (paper: ~76% coverage). Reported metric: mean
 // coverage percentage.
 func BenchmarkFig7Coverage(b *testing.B) {
+	m := startAllocMeter(b)
 	n := benchBudget(150_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Fig7(opts(n))
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addRows(rows)
 		sum := 0.0
 		for _, r := range rows {
 			sum += r.Coverage
@@ -98,11 +149,13 @@ func BenchmarkFig7Coverage(b *testing.B) {
 			b.Log("\n" + sb.String())
 		}
 	}
+	m.report(b)
 }
 
 // BenchmarkFig8VsRunahead regenerates Fig. 8: TEA vs Branch Runahead
 // (paper: 10.1% vs 7.3%). Reported metrics: both geomeans.
 func BenchmarkFig8VsRunahead(b *testing.B) {
+	b.ReportAllocs()
 	n := benchBudget(150_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Fig8(opts(n))
@@ -127,12 +180,14 @@ func BenchmarkFig8VsRunahead(b *testing.B) {
 // BenchmarkFig9DedicatedEngine regenerates Fig. 9: TEA on a dedicated
 // execution engine (paper: +12.3%). Reported metric: geomean speedup.
 func BenchmarkFig9DedicatedEngine(b *testing.B) {
+	m := startAllocMeter(b)
 	n := benchBudget(150_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Fig9(opts(n))
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addSpeedups(rows)
 		var sp []float64
 		for _, r := range rows {
 			sp = append(sp, r.Speedup)
@@ -144,12 +199,14 @@ func BenchmarkFig9DedicatedEngine(b *testing.B) {
 			b.Log("\n" + sb.String())
 		}
 	}
+	m.report(b)
 }
 
 // BenchmarkFig10Ablations regenerates Fig. 10: accuracy / coverage /
 // timeliness across the five thread-construction configurations. Reported
 // metric: full-TEA mean accuracy percentage.
 func BenchmarkFig10Ablations(b *testing.B) {
+	b.ReportAllocs()
 	n := benchBudget(80_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Fig10(opts(n))
@@ -177,12 +234,14 @@ func BenchmarkFig10Ablations(b *testing.B) {
 // dynamic uop footprint (paper average +31.9%). Reported metric: mean
 // overhead percentage.
 func BenchmarkTable3Footprint(b *testing.B) {
+	m := startAllocMeter(b)
 	n := benchBudget(150_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Table3(opts(n))
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addRows(rows)
 		sum := 0.0
 		for _, r := range rows {
 			sum += r.UopOverheadPct
@@ -194,29 +253,34 @@ func BenchmarkTable3Footprint(b *testing.B) {
 			b.Log("\n" + sb.String())
 		}
 	}
+	m.report(b)
 }
 
 // BenchmarkPrefetchOnly regenerates the §V-B aside: early resolution off,
 // measuring the TEA thread's residual prefetching effect (paper: +1.2%).
 func BenchmarkPrefetchOnly(b *testing.B) {
+	m := startAllocMeter(b)
 	n := benchBudget(150_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.PrefetchOnly(opts(n))
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addSpeedups(rows)
 		var sp []float64
 		for _, r := range rows {
 			sp = append(sp, r.Speedup)
 		}
 		b.ReportMetric(100*(tea.Geomean(sp)-1), "geomean-speedup-%")
 	}
+	m.report(b)
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed (instructions
 // per second) on a representative workload — a harness health metric, not a
 // paper figure.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	m := startAllocMeter(b)
 	n := benchBudget(200_000)
 	for i := 0; i < b.N; i++ {
 		res, err := tea.Run("mcf", tea.Config{Mode: tea.ModeTEA, MaxInstructions: n, Scale: 1})
@@ -224,7 +288,9 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Instructions), "instructions")
+		m.add(res.Instructions)
 	}
+	m.report(b)
 }
 
 // BenchmarkAblationBlockCache sweeps the Block Cache capacity (§IV-B: the
@@ -232,6 +298,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // empty-block tag store to stretch capacity). Uses the two capacity-bound
 // workloads the paper names.
 func BenchmarkAblationBlockCache(b *testing.B) {
+	b.ReportAllocs()
 	n := benchBudget(120_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Sensitivity(tea.SensBlockCache, []int{128, 512, 2048},
@@ -251,6 +318,7 @@ func BenchmarkAblationBlockCache(b *testing.B) {
 // BenchmarkAblationFillBuffer sweeps the Fill Buffer size (§IV-C: the paper
 // reports ~1% sensitivity because bit-masks let chains grow across walks).
 func BenchmarkAblationFillBuffer(b *testing.B) {
+	b.ReportAllocs()
 	n := benchBudget(120_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Sensitivity(tea.SensFillBuffer, []int{128, 512, 1024},
@@ -270,6 +338,7 @@ func BenchmarkAblationFillBuffer(b *testing.B) {
 // BenchmarkAblationLead sweeps the shadow-fetch-queue depth (DESIGN.md §7:
 // short leads maximize surviving precomputation under frequent flushes).
 func BenchmarkAblationLead(b *testing.B) {
+	b.ReportAllocs()
 	n := benchBudget(120_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Sensitivity(tea.SensLead, []int{1, 2, 8},
@@ -289,34 +358,40 @@ func BenchmarkAblationLead(b *testing.B) {
 // BenchmarkFig9BigEngine regenerates §V-D's second data point: the TEA
 // thread on a main-core-sized execution engine (paper: +12.8%).
 func BenchmarkFig9BigEngine(b *testing.B) {
+	m := startAllocMeter(b)
 	n := benchBudget(150_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Fig9Big(opts(n))
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addSpeedups(rows)
 		var sp []float64
 		for _, r := range rows {
 			sp = append(sp, r.Speedup)
 		}
 		b.ReportMetric(100*(tea.Geomean(sp)-1), "geomean-speedup-%")
 	}
+	m.report(b)
 }
 
 // BenchmarkWide16 regenerates §IV-H's comparison: a 16-wide frontend
 // without precomputation barely helps because the branch predictor still
 // delivers one taken branch per cycle (paper: ~+2.8%).
 func BenchmarkWide16(b *testing.B) {
+	m := startAllocMeter(b)
 	n := benchBudget(150_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Wide16(opts(n))
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addSpeedups(rows)
 		var sp []float64
 		for _, r := range rows {
 			sp = append(sp, r.Speedup)
 		}
 		b.ReportMetric(100*(tea.Geomean(sp)-1), "geomean-speedup-%")
 	}
+	m.report(b)
 }

@@ -5,32 +5,78 @@
 //	teaexp -exp fig5                # TEA speedup per benchmark
 //	teaexp -exp fig8 -n 500000      # TEA vs Branch Runahead, 500k instrs each
 //	teaexp -exp all                 # every experiment (slow)
+//	teaexp -exp fig10 -workers 4    # bound the experiment worker pool
+//	teaexp -exp fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: fig5 fig6 fig7 fig8 fig9 fig10 table3 prefetchonly tables all,
 // plus sensitivity sweeps: sens-blockcache, sens-fillbuffer, sens-h2pdecay,
 // sens-lead, sens-fetchqueue.
+//
+// Every (workload, config) cell runs as an independent job on a worker pool
+// (default GOMAXPROCS; override with -workers or TEASIM_WORKERS), and all
+// experiments of one invocation share a baseline memoization cache, so
+// `-exp all` simulates each workload's baseline once.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"teasim/tea"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain runs the experiments and returns the process exit code; keeping
+// it separate from main lets deferred profile writers flush on every path.
+func realMain() int {
 	var (
-		exp   = flag.String("exp", "fig5", "experiment id (fig5..fig10, table3, prefetchonly, tables, all)")
-		n     = flag.Uint64("n", 1_000_000, "max instructions per run")
-		scale = flag.Int("scale", 1, "workload input scale")
-		wl    = flag.String("w", "", "comma-separated workload subset (default all)")
+		exp     = flag.String("exp", "fig5", "experiment id (fig5..fig10, table3, prefetchonly, tables, all)")
+		n       = flag.Uint64("n", 1_000_000, "max instructions per run")
+		scale   = flag.Int("scale", 1, "workload input scale")
+		wl      = flag.String("w", "", "comma-separated workload subset (default all)")
+		workers = flag.Int("workers", 0, "experiment worker pool size (0 = TEASIM_WORKERS or GOMAXPROCS)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
-	opts := tea.ExpOptions{MaxInstructions: *n, Scale: *scale}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	// One engine for the whole invocation: `-exp all` shares every
+	// (workload, budget, scale) baseline across figures.
+	opts := tea.ExpOptions{MaxInstructions: *n, Scale: *scale, Engine: tea.NewEngine(*workers)}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
 	}
@@ -43,10 +89,11 @@ func main() {
 		start := time.Now()
 		if err := runExp(id, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Second))
 	}
+	return 0
 }
 
 func runExp(id string, opts tea.ExpOptions) error {

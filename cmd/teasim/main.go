@@ -5,6 +5,7 @@
 //
 //	teasim -w bfs -mode tea -n 1000000
 //	teasim -w mcf -mode baseline
+//	teasim -w bfs -mode tea -speedup   # run the baseline too (in parallel)
 //	teasim -list
 package main
 
@@ -30,6 +31,8 @@ func main() {
 		noMasks  = flag.Bool("nomasks", false, "ablation: no mask combining")
 		noMem    = flag.Bool("nomem", false, "ablation: no memory dependencies")
 		noFlush  = flag.Bool("noflush", false, "ablation: disable early flushes")
+		speedup  = flag.Bool("speedup", false, "also run the baseline and report the speedup")
+		workers  = flag.Int("workers", 0, "engine worker pool size (0 = TEASIM_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -69,13 +72,22 @@ func main() {
 		NoMem:             *noMem,
 		DisableEarlyFlush: *noFlush,
 	}
+	// Dispatch through the experiment engine: panic capture for free, and
+	// with -speedup the baseline cell runs in parallel on multi-core hosts.
+	eng := tea.NewEngine(*workers)
+	jobs := []tea.Job{{Workload: *workload, Cfg: cfg}}
+	if *speedup && m != tea.ModeBaseline {
+		jobs = append(jobs, tea.Job{Workload: *workload,
+			Cfg: tea.Config{Mode: tea.ModeBaseline, MaxInstructions: *n, Scale: *scale}})
+	}
 	start := time.Now()
-	res, err := tea.Run(*workload, cfg)
+	results, err := eng.Map(jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	el := time.Since(start)
+	res := results[0]
 
 	fmt.Printf("workload      %s (%s)\n", res.Workload, res.Mode)
 	fmt.Printf("instructions  %d\n", res.Instructions)
@@ -90,6 +102,11 @@ func main() {
 		fmt.Printf("saved/branch  %.1f cycles\n", res.AvgCyclesSaved)
 		fmt.Printf("early flushes %d\n", res.EarlyFlushes)
 		fmt.Printf("uop overhead  +%.1f%%\n", res.UopOverheadPct)
+	}
+	if len(results) > 1 {
+		base := results[1]
+		fmt.Printf("speedup       %+.1f%% (baseline %d cycles)\n",
+			100*(float64(base.Cycles)/float64(res.Cycles)-1), base.Cycles)
 	}
 	fmt.Printf("sim wall time %v (%.2f Minstr/s)\n", el.Round(time.Millisecond),
 		float64(res.Instructions)/el.Seconds()/1e6)

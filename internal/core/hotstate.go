@@ -1,0 +1,127 @@
+package core
+
+// Preallocated replacements for the TEA thread's former map-backed hot
+// state. Both structures are touched on the per-retired-instruction and
+// per-rename paths, where map traffic (hashing, bucket allocation,
+// per-entry pointer allocations) dominated the simulator's heap profile
+// once experiment cells started running in parallel.
+
+import "teasim/internal/isa"
+
+// ratCkpt is one shadow-RAT checkpoint, tagged by the TEA branch's sequence
+// number. The TEA.ckpts slice holds these in ascending seq order.
+type ratCkpt struct {
+	seq uint64
+	rat [isa.NumRegs]uint16
+}
+
+// ckptSearch returns the index of the first checkpoint with seq >= want.
+func (t *TEA) ckptSearch(want uint64) int {
+	lo, hi := 0, len(t.ckpts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.ckpts[mid].seq < want {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ckptLookup returns the checkpoint taken at seq, if present.
+func (t *TEA) ckptLookup(seq uint64) ([isa.NumRegs]uint16, bool) {
+	if i := t.ckptSearch(seq); i < len(t.ckpts) && t.ckpts[i].seq == seq {
+		return t.ckpts[i].rat, true
+	}
+	return [isa.NumRegs]uint16{}, false
+}
+
+// ckptDrop removes the checkpoint taken at seq (no-op if absent),
+// preserving order.
+func (t *TEA) ckptDrop(seq uint64) {
+	if i := t.ckptSearch(seq); i < len(t.ckpts) && t.ckpts[i].seq == seq {
+		t.ckpts = append(t.ckpts[:i], t.ckpts[i+1:]...)
+	}
+}
+
+// wrongEntry tracks a branch's precomputation accuracy at retirement.
+// key is the branch PC + 1 (0 marks an empty slot).
+type wrongEntry struct {
+	key          uint64
+	right, wrong uint32
+}
+
+// wrongTable is an open-addressed hash table (power-of-two capacity, linear
+// probing) over wrongEntry, preallocated so steady-state retirement never
+// allocates. Entries are only ever inserted; the table doubles at 3/4 load
+// (static branch PCs bound its population).
+type wrongTable struct {
+	entries []wrongEntry
+	n       int
+}
+
+func (w *wrongTable) init(capacity int) {
+	w.entries = make([]wrongEntry, capacity)
+	w.n = 0
+}
+
+// slot returns the probe start index for pc.
+func (w *wrongTable) slot(pc uint64) int {
+	// Fibonacci hashing spreads the word-aligned PCs across the table.
+	return int((pc * 0x9E3779B97F4A7C15) >> 32 & uint64(len(w.entries)-1))
+}
+
+// lookup returns the entry for pc, or nil if absent.
+func (w *wrongTable) lookup(pc uint64) *wrongEntry {
+	key := pc + 1
+	mask := len(w.entries) - 1
+	for i := w.slot(pc); ; i = (i + 1) & mask {
+		e := &w.entries[i]
+		if e.key == key {
+			return e
+		}
+		if e.key == 0 {
+			return nil
+		}
+	}
+}
+
+// get returns the entry for pc, inserting a zeroed one if absent. The
+// returned pointer is invalidated by the next get (growth may rehash);
+// callers use it immediately.
+func (w *wrongTable) get(pc uint64) *wrongEntry {
+	if w.n*4 >= len(w.entries)*3 {
+		w.grow()
+	}
+	key := pc + 1
+	mask := len(w.entries) - 1
+	for i := w.slot(pc); ; i = (i + 1) & mask {
+		e := &w.entries[i]
+		if e.key == key {
+			return e
+		}
+		if e.key == 0 {
+			e.key = key
+			w.n++
+			return e
+		}
+	}
+}
+
+func (w *wrongTable) grow() {
+	old := w.entries
+	w.entries = make([]wrongEntry, 2*len(old))
+	mask := len(w.entries) - 1
+	for _, e := range old {
+		if e.key == 0 {
+			continue
+		}
+		for i := w.slot(e.key - 1); ; i = (i + 1) & mask {
+			if w.entries[i].key == 0 {
+				w.entries[i] = e
+				break
+			}
+		}
+	}
+}

@@ -86,10 +86,13 @@ type TEA struct {
 		mask     uint32
 	}
 
-	// ratCkpts checkpoints the shadow RAT at the rename of every TEA branch
+	// ckpts checkpoints the shadow RAT at the rename of every TEA branch
 	// (§IV-F: "checkpointing the contents of the shadow RAT instead of the
-	// main RAT when the TEA thread is running far ahead").
-	ratCkpts map[uint64][isa.NumRegs]uint16
+	// main RAT when the TEA thread is running far ahead"). TEA branches
+	// rename in ascending sequence order, so the slice stays seq-sorted:
+	// lookups binary-search, flushes truncate the tail, and the backing
+	// array is reused across the whole run (no per-branch map traffic).
+	ckpts []ratCkpt
 
 	poison uint32 // poisoned architectural registers (§IV-G)
 
@@ -98,7 +101,7 @@ type TEA struct {
 	// age out (halved periodically). This keeps persistently mis-computed
 	// chains (e.g. memory mutated by in-flight main-thread stores) from
 	// paying the double-flush penalty over and over (§IV-G's intent).
-	wrongTbl map[uint64]*wrongEntry
+	wrongTbl wrongTable
 
 	debugWrong int // test hook: print the first N wrong precomputations
 
@@ -159,8 +162,8 @@ func New(cfg Config, c *pipeline.Core) *TEA {
 	t.pendWrite = make([]bool, n)
 	t.allocated = make([]bool, n)
 	t.prFree = make([]uint16, 0, n)
-	t.wrongTbl = make(map[uint64]*wrongEntry)
-	t.ratCkpts = make(map[uint64][isa.NumRegs]uint16)
+	t.wrongTbl.init(1024)
+	t.ckpts = make([]ratCkpt, 0, 64)
 	t.resetPRState()
 	c.Attach(t)
 	return t
@@ -263,11 +266,7 @@ func (t *TEA) OnRetire(u *pipeline.Uop) {
 		// and are tracked in the "late" category instead (§V-B).
 		if rec.Precomputed && rec.PreCycle < rec.ResolveCycle {
 			t.Stats.Precomputed++
-			e := t.wrongTbl[u.PC]
-			if e == nil {
-				e = &wrongEntry{}
-				t.wrongTbl[u.PC] = e
-			}
+			e := t.wrongTbl.get(u.PC)
 			if e.right+e.wrong >= 1024 {
 				e.right /= 2
 				e.wrong /= 2
@@ -397,19 +396,15 @@ func (t *TEA) OnFlush(seq uint64, branchRenamed bool) {
 	}
 	t.inflight = live
 
-	// Drop checkpoints of squashed TEA branches.
-	for s := range t.ratCkpts {
-		if s > seq {
-			delete(t.ratCkpts, s)
-		}
-	}
+	// Drop checkpoints of squashed TEA branches (the seq-sorted tail).
+	t.ckpts = t.ckpts[:t.ckptSearch(seq+1)]
 
 	// Resynchronize the shadow RAT with the post-flush stream. If the main
 	// thread had renamed the branch, the recovered main RAT is the exact
 	// program state at the branch. If not — the TEA thread was running far
 	// ahead and partially flushed the frontend — recover from the shadow
 	// RAT checkpoint taken when the TEA branch renamed (§IV-F).
-	ckpt, hasCkpt := t.ratCkpts[seq]
+	ckpt, hasCkpt := t.ckptLookup(seq)
 	if debugFlushLo <= seq && seq <= debugFlushHi {
 		debugf("ONFLUSH seq=%d renamed=%v ckpt=%v cyc=%d frontQ=%d r8map=%d\n",
 			seq, branchRenamed, hasCkpt, t.core.Cycle, len(t.frontQ), t.shadowRAT[8])
@@ -479,13 +474,10 @@ func (t *TEA) PrecomputationWrong(pc uint64) {
 	// Retirement-time accuracy tracking suppresses persistent offenders.
 }
 
-// wrongEntry tracks a branch's precomputation accuracy at retirement.
-type wrongEntry struct{ right, wrong uint32 }
-
 // suppressed reports whether early flushes for pc are currently disabled
 // (wrong-rate above ~1/8 with enough samples).
 func (t *TEA) suppressed(pc uint64) bool {
-	e := t.wrongTbl[pc]
+	e := t.wrongTbl.lookup(pc)
 	return e != nil && e.wrong >= uint32(t.Cfg.WrongLimit) && e.wrong*8 > e.right
 }
 
@@ -719,7 +711,8 @@ func (t *TEA) renameAndInsert() {
 
 		if u.In.IsBranch() {
 			// Checkpoint the shadow RAT for partial-frontend-flush recovery.
-			t.ratCkpts[u.Seq] = t.shadowRAT
+			// Renames proceed in ascending seq order, keeping ckpts sorted.
+			t.ckpts = append(t.ckpts, ratCkpt{seq: u.Seq, rat: t.shadowRAT})
 		}
 		u.Prs1 = t.shadowRAT[u.In.Rs1]
 		u.Prs2 = t.shadowRAT[u.In.Rs2]
@@ -806,7 +799,7 @@ func (t *TEA) releaseUop(u *pipeline.Uop) {
 		t.dropPendStore(u.Seq)
 	}
 	if u.In.IsBranch() {
-		delete(t.ratCkpts, u.Seq)
+		t.ckptDrop(u.Seq)
 	}
 	t.dropRef(u.Prs1)
 	t.dropRef(u.Prs2)

@@ -1,7 +1,7 @@
 package pipeline
 
 import (
-	"sort"
+	"slices"
 
 	"teasim/internal/emu"
 	"teasim/internal/isa"
@@ -266,7 +266,14 @@ func (c *Core) complete() {
 		return
 	}
 	c.completions[slot] = list[:0]
-	sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
+	// Seqs are unique, so this unstable sort is deterministic; unlike
+	// sort.Slice it does not allocate a closure + swapper per call.
+	slices.SortFunc(list, func(a, b *Uop) int {
+		if a.Seq < b.Seq {
+			return -1
+		}
+		return 1
+	})
 	for _, u := range list {
 		if u.Squashed {
 			if u.TEA {

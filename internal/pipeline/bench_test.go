@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"runtime"
 	"testing"
 
 	"teasim/internal/asm"
@@ -8,6 +9,8 @@ import (
 
 // BenchmarkCorePerCycle measures the simulator's per-cycle cost on a
 // branchy workload (simulation throughput, not simulated performance).
+// allocs/kinstr is the allocation-regression tripwire for the pipeline hot
+// path: steady-state ticking should run entirely out of the object pools.
 func BenchmarkCorePerCycle(b *testing.B) {
 	bb := asm.NewBuilder()
 	buildTorture(bb, 42, 24, 1_000_000_000) // effectively unbounded
@@ -15,6 +18,8 @@ func BenchmarkCorePerCycle(b *testing.B) {
 	cfg := DefaultConfig()
 	c := New(cfg, p)
 	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := c.Tick(); err != nil {
@@ -22,7 +27,9 @@ func BenchmarkCorePerCycle(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
 	if c.Stats.Retired > 0 {
 		b.ReportMetric(float64(c.Stats.Retired)/float64(c.Stats.Cycles), "IPC")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/(float64(c.Stats.Retired)/1000), "allocs/kinstr")
 	}
 }

@@ -33,11 +33,11 @@ type Core struct {
 	fetchStallTil    uint64
 	streamResumeAt   uint64
 
-	// In-flight branch queue: every branch the BP has emitted. The map is
-	// the lookup index; recList holds the same records in age order so
-	// flushes truncate the tail instead of scanning the map.
-	branches map[uint64]*BranchRec
-	recList  queue[*BranchRec]
+	// In-flight branch queue: every branch the BP has emitted, in age
+	// (= ascending sequence) order. Retirement pops the head, flushes
+	// truncate the tail, and point lookups binary-search by Seq — no
+	// per-branch map traffic on the simulation hot path.
+	recList queue[*BranchRec]
 
 	// Frontend pipe: fetched uops waiting to become rename-ready.
 	frontQ queue[*Uop]
@@ -97,7 +97,6 @@ func New(cfg Config, prog *isa.Program) *Core {
 		Hier:       mem.NewHierarchy(mem.DefaultHierarchyConfig()),
 		BP:         bpred.New(),
 		streamPC:   prog.Entry,
-		branches:   make(map[uint64]*BranchRec),
 		PRF:        NewPRF(cfg.NumPRegs, teaRegs),
 		mainRSCap:  cfg.RSSize,
 		teaPRBase:  cfg.NumPRegs,
@@ -156,8 +155,25 @@ func (c *Core) Halted() bool { return c.halted }
 // Seq returns the next unassigned sequence number (diagnostics).
 func (c *Core) Seq() uint64 { return c.seq }
 
-// Branch returns the in-flight branch record for seq, if present.
-func (c *Core) Branch(seq uint64) *BranchRec { return c.branches[seq] }
+// Branch returns the in-flight branch record for seq, if present. The
+// record list is seq-ordered, so the lookup is a binary search.
+func (c *Core) Branch(seq uint64) *BranchRec {
+	lo, hi := 0, c.recList.len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.recList.at(mid).Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.recList.len() {
+		if r := c.recList.at(lo); r.Seq == seq {
+			return r
+		}
+	}
+	return nil
+}
 
 // RATSnapshot copies the current speculative RAT (for the TEA shadow RAT).
 func (c *Core) RATSnapshot() [isa.NumRegs]uint16 { return c.rat }

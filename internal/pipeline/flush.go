@@ -44,6 +44,12 @@ func (c *Core) flushAfter(seq uint64, redirectPC uint64, rec *BranchRec, actualT
 		if u.isStore() {
 			c.sqCount--
 		}
+		if u.Executed {
+			// Already drained from the completion ring: no later stage will
+			// see this uop again, so recycle it here (un-executed uops come
+			// back through the ring or the RS sweep below instead).
+			c.pool.putUop(u)
+		}
 		i--
 	}
 	c.rob.truncFrom(i + 1)
@@ -125,9 +131,7 @@ func (c *Core) flushAfter(seq uint64, redirectPC uint64, rec *BranchRec, actualT
 	j = c.recList.len()
 	for j > 0 && c.recList.at(j-1).Seq > seq {
 		j--
-		r := c.recList.at(j)
-		delete(c.branches, r.Seq)
-		c.pool.putRec(r)
+		c.pool.putRec(c.recList.at(j))
 	}
 	c.recList.truncFrom(j)
 

@@ -69,7 +69,6 @@ func (c *Core) predict() {
 			rec.PredNext = pc + isa.InstBytes
 		}
 		rec.OrigNext = rec.PredNext
-		c.branches[seq] = rec
 		c.recList.push(rec)
 		blk.Branches = append(blk.Branches, blockBranch{idx: blk.Count - 1, rec: rec})
 		if rec.PredTaken {
@@ -218,7 +217,7 @@ func (c *Core) processRedirects() {
 			kept = append(kept, pr)
 			continue
 		}
-		rec := c.branches[pr.seq]
+		rec := c.Branch(pr.seq)
 		if rec == nil || rec.PC != pr.pc || rec.PredTaken {
 			continue // squashed, or already corrected
 		}

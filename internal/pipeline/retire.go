@@ -56,7 +56,6 @@ func (c *Core) retire() error {
 				// misprediction for MPKI purposes.
 				c.Stats.IndMispredicts++
 			}
-			delete(c.branches, rec.Seq)
 		}
 
 		if u.HasDest {

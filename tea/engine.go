@@ -1,0 +1,178 @@
+package tea
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one (workload, configuration) cell of an experiment matrix.
+type Job struct {
+	Workload string
+	Cfg      Config
+}
+
+// Engine dispatches experiment cells to a bounded worker pool. Results come
+// back in job order regardless of scheduling, so a parallel run is
+// byte-identical to a sequential one. The engine also memoizes canonical
+// baseline runs — keyed by (workload, MaxInstructions, Scale) — so paired
+// experiments (Fig. 8's TEA-vs-Runahead matrix, sensitivity sweeps, or a
+// whole `teaexp -exp all` invocation sharing one engine) simulate each
+// baseline exactly once.
+//
+// A zero-value Engine is not usable; construct with NewEngine. Engines are
+// safe for concurrent use and may be shared across experiments to widen the
+// memoization scope.
+type Engine struct {
+	workers int
+
+	// runFn is the simulation entry point (tea.Run outside tests).
+	runFn func(string, Config) (Result, error)
+
+	mu   sync.Mutex
+	memo map[memoKey]*memoEntry
+}
+
+// memoKey identifies a canonical baseline simulation.
+type memoKey struct {
+	workload string
+	maxInstr uint64
+	scale    int
+}
+
+// memoEntry latches one baseline result; once ensures a single simulation
+// even when several workers want the same baseline concurrently.
+type memoEntry struct {
+	once sync.Once
+	res  Result
+	err  error
+}
+
+// DefaultWorkers returns the worker count used when none is specified: the
+// TEASIM_WORKERS environment variable if set and positive, else GOMAXPROCS.
+func DefaultWorkers() int {
+	if v := os.Getenv("TEASIM_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// NewEngine builds an engine with the given worker-pool bound
+// (workers <= 0 selects DefaultWorkers).
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Engine{
+		workers: workers,
+		runFn:   Run,
+		memo:    make(map[memoKey]*memoEntry),
+	}
+}
+
+// Workers reports the engine's worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// canonicalBaseline reports whether cfg is a pure baseline run — baseline
+// mode with only the budget and scale set — and therefore safe to share
+// across experiments. Runs with structure overrides (fetch-queue sweeps) or
+// co-simulation enabled are never memoized.
+func canonicalBaseline(cfg Config) bool {
+	return cfg == Config{Mode: ModeBaseline, MaxInstructions: cfg.MaxInstructions, Scale: cfg.Scale}
+}
+
+// runJob executes one cell, consulting the baseline memo cache.
+func (e *Engine) runJob(j Job) (Result, error) {
+	if !canonicalBaseline(j.Cfg) {
+		return e.runFn(j.Workload, j.Cfg)
+	}
+	key := memoKey{j.Workload, j.Cfg.MaxInstructions, j.Cfg.Scale}
+	e.mu.Lock()
+	ent := e.memo[key]
+	if ent == nil {
+		ent = &memoEntry{}
+		e.memo[key] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.res, ent.err = e.runFn(j.Workload, j.Cfg)
+	})
+	return ent.res, ent.err
+}
+
+// Map runs every job on the worker pool and returns the results in job
+// order. Workers pull jobs from a shared index, so long cells do not hold up
+// the queue. A panic inside a job is captured and surfaced as that job's
+// error. On error the lowest-index failure is returned (deterministically,
+// independent of worker scheduling) and remaining jobs are cancelled
+// best-effort.
+func (e *Engine) Map(jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			if err := e.runJobInto(j, &results[i], &errs[i]); err != nil {
+				return nil, fmt.Errorf("tea: job %d (%s/%s): %w", i, j.Workload, j.Cfg.Mode, err)
+			}
+		}
+		return results, nil
+	}
+
+	var next, failed atomic.Int64
+	failed.Store(int64(len(jobs)))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(jobs) || int64(i) > failed.Load() {
+					return
+				}
+				if err := e.runJobInto(jobs[i], &results[i], &errs[i]); err != nil {
+					// Record the failure index; later jobs are skipped but
+					// earlier in-flight ones finish, keeping error selection
+					// deterministic.
+					for {
+						cur := failed.Load()
+						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("tea: job %d (%s/%s): %w", i, jobs[i].Workload, jobs[i].Cfg.Mode, err)
+		}
+	}
+	return results, nil
+}
+
+// runJobInto runs one job with panic capture, storing the outcome in place.
+func (e *Engine) runJobInto(j Job, res *Result, errp *error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+			*errp = err
+		}
+	}()
+	*res, err = e.runJob(j)
+	*errp = err
+	return err
+}

@@ -1,0 +1,187 @@
+package tea
+
+// Internal engine tests: these reach the runFn seam to count and fault
+// simulation calls without paying for real runs. The cross-worker
+// determinism test on real simulations also lives here so `go test -race`
+// exercises the pool end to end.
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// countingEngine returns an engine whose runFn tallies invocations per
+// (workload, mode, budget) cell instead of simulating.
+func countingEngine(workers int) (*Engine, func() map[string]int) {
+	e := NewEngine(workers)
+	var mu sync.Mutex
+	counts := map[string]int{}
+	e.runFn = func(w string, c Config) (Result, error) {
+		mu.Lock()
+		counts[fmt.Sprintf("%s/%s/%d", w, c.Mode, c.MaxInstructions)]++
+		mu.Unlock()
+		// Distinct nonzero cycles keep speedup math finite.
+		return Result{Workload: w, Mode: c.Mode, Cycles: 100 + uint64(c.Mode)}, nil
+	}
+	return e, func() map[string]int {
+		mu.Lock()
+		defer mu.Unlock()
+		out := make(map[string]int, len(counts))
+		for k, v := range counts {
+			out[k] = v
+		}
+		return out
+	}
+}
+
+// TestFig8BaselineMemoized asserts the paired Fig. 8 experiment simulates
+// each workload's baseline exactly once per (workload, budget): without the
+// engine's memo cache the TEA and Runahead halves would each run it.
+func TestFig8BaselineMemoized(t *testing.T) {
+	e, snapshot := countingEngine(4)
+	wls := []string{"bfs", "mcf", "gcc"}
+	o := ExpOptions{MaxInstructions: 1000, Workloads: wls, Engine: e}
+	if _, err := Fig8(o); err != nil {
+		t.Fatal(err)
+	}
+	counts := snapshot()
+	for _, w := range wls {
+		key := w + "/baseline/1000"
+		if counts[key] != 1 {
+			t.Errorf("baseline for %s ran %d times, want exactly 1", w, counts[key])
+		}
+	}
+	for k, n := range counts {
+		if n != 1 {
+			t.Errorf("cell %s ran %d times, want 1", k, n)
+		}
+	}
+
+	// A further experiment on the same engine and budget reuses the cache.
+	if _, err := Fig5(o); err != nil {
+		t.Fatal(err)
+	}
+	counts = snapshot()
+	for _, w := range wls {
+		key := w + "/baseline/1000"
+		if counts[key] != 1 {
+			t.Errorf("after Fig5 reuse, baseline for %s ran %d times, want 1", w, counts[key])
+		}
+	}
+	// A different budget is a different cell and must re-simulate.
+	o2 := ExpOptions{MaxInstructions: 2000, Workloads: wls, Engine: e}
+	if _, err := Fig5(o2); err != nil {
+		t.Fatal(err)
+	}
+	counts = snapshot()
+	for _, w := range wls {
+		if counts[w+"/baseline/2000"] != 1 {
+			t.Errorf("baseline for %s at budget 2000 ran %d times, want 1",
+				w, counts[w+"/baseline/2000"])
+		}
+	}
+}
+
+// TestEngineNoMemoForNonCanonicalBaseline asserts baselines carrying
+// structure overrides or co-simulation are never shared.
+func TestEngineNoMemoForNonCanonicalBaseline(t *testing.T) {
+	e, snapshot := countingEngine(2)
+	cfg := Config{Mode: ModeBaseline, MaxInstructions: 1000, Scale: 1, FetchQueueSize: 64}
+	jobs := []Job{{"bfs", cfg}, {"bfs", cfg}}
+	if _, err := e.Map(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if n := snapshot()["bfs/baseline/1000"]; n != 2 {
+		t.Fatalf("non-canonical baseline ran %d times, want 2 (no memoization)", n)
+	}
+}
+
+// TestEnginePanicCapture asserts a panicking job surfaces as that job's
+// error instead of killing the process.
+func TestEnginePanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		e := NewEngine(workers)
+		e.runFn = func(w string, c Config) (Result, error) {
+			if w == "boom" {
+				panic("simulated wedge")
+			}
+			return Result{Workload: w, Cycles: 1}, nil
+		}
+		jobs := []Job{
+			{"bfs", Config{Mode: ModeTEA}},
+			{"boom", Config{Mode: ModeTEA}},
+			{"mcf", Config{Mode: ModeTEA}},
+		}
+		_, err := e.Map(jobs)
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error from the panicking job", workers)
+		}
+		if !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("workers=%d: error %q does not identify the panicking job", workers, err)
+		}
+	}
+}
+
+// TestEngineDeterministicError asserts the lowest-index failure wins
+// regardless of worker scheduling.
+func TestEngineDeterministicError(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		e := NewEngine(8)
+		e.runFn = func(w string, c Config) (Result, error) {
+			if strings.HasPrefix(w, "bad") {
+				return Result{}, fmt.Errorf("fault in %s", w)
+			}
+			return Result{Workload: w, Cycles: 1}, nil
+		}
+		jobs := []Job{
+			{"ok0", Config{}}, {"bad1", Config{}}, {"ok2", Config{}},
+			{"bad3", Config{}}, {"ok4", Config{}},
+		}
+		_, err := e.Map(jobs)
+		if err == nil || !strings.Contains(err.Error(), "job 1") || !strings.Contains(err.Error(), "bad1") {
+			t.Fatalf("trial %d: got %v, want the job-1 fault", trial, err)
+		}
+	}
+}
+
+// TestEngineDeterminismAcrossWorkers is the regression test for the worker
+// pool: Fig 5 and Fig 10 on a reduced budget must produce byte-identical
+// rows (same values, same order) with 8 workers and with 1. Run under
+// `go test -race` this also proves the pool is data-race-free on real
+// simulations.
+func TestEngineDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-simulation matrix; skipped in -short mode")
+	}
+	wls := []string{"bfs", "cc", "mcf", "gcc", "xz", "omnetpp"}
+	optsFor := func(workers int) ExpOptions {
+		return ExpOptions{MaxInstructions: 25_000, Scale: 1, Workloads: wls, Workers: workers}
+	}
+
+	seq5, err := Fig5(optsFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par5, err := Fig5(optsFor(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq5, par5) {
+		t.Errorf("Fig5 rows differ between Workers=1 and Workers=8:\nseq: %+v\npar: %+v", seq5, par5)
+	}
+
+	seq10, err := Fig10(optsFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par10, err := Fig10(optsFor(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq10, par10) {
+		t.Errorf("Fig10 rows differ between Workers=1 and Workers=8:\nseq: %+v\npar: %+v", seq10, par10)
+	}
+}

@@ -16,6 +16,13 @@ type ExpOptions struct {
 	Scale int
 	// Workloads restricts the suite (default: all 16).
 	Workloads []string
+	// Workers bounds the experiment engine's worker pool (0 = DefaultWorkers;
+	// ignored when Engine is set).
+	Workers int
+	// Engine, when non-nil, dispatches this experiment's cells. Sharing one
+	// engine across experiments shares its baseline memoization, so repeated
+	// (workload, budget, scale) baselines simulate once.
+	Engine *Engine
 }
 
 func (o ExpOptions) fill() ExpOptions {
@@ -27,6 +34,9 @@ func (o ExpOptions) fill() ExpOptions {
 	}
 	if len(o.Workloads) == 0 {
 		o.Workloads = Workloads()
+	}
+	if o.Engine == nil {
+		o.Engine = NewEngine(o.Workers)
 	}
 	return o
 }
@@ -55,22 +65,25 @@ type SpeedupRow struct {
 	Speedup  float64
 }
 
-// runSpeedups measures cycles(baseline)/cycles(mode) per workload.
+// runSpeedups measures cycles(baseline)/cycles(mode) per workload. Every
+// cell is an independent engine job; baselines come from the engine's memo
+// cache when another experiment on the same engine already ran them.
 func runSpeedups(o ExpOptions, mode Mode, modeCfg func(Config) Config) ([]SpeedupRow, error) {
-	var rows []SpeedupRow
+	jobs := make([]Job, 0, 2*len(o.Workloads))
 	for _, name := range o.Workloads {
-		base, err := Run(name, o.cfg(ModeBaseline))
-		if err != nil {
-			return nil, err
-		}
 		cfg := o.cfg(mode)
 		if modeCfg != nil {
 			cfg = modeCfg(cfg)
 		}
-		with, err := Run(name, cfg)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, Job{name, o.cfg(ModeBaseline)}, Job{name, cfg})
+	}
+	res, err := o.Engine.Map(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SpeedupRow, 0, len(o.Workloads))
+	for i, name := range o.Workloads {
+		base, with := res[2*i], res[2*i+1]
 		rows = append(rows, SpeedupRow{
 			Workload: name,
 			Base:     base,
@@ -79,6 +92,16 @@ func runSpeedups(o ExpOptions, mode Mode, modeCfg func(Config) Config) ([]Speedu
 		})
 	}
 	return rows, nil
+}
+
+// runAll dispatches one run per workload under cfg and returns the results
+// in workload order.
+func runAll(o ExpOptions, cfg Config) ([]Result, error) {
+	jobs := make([]Job, 0, len(o.Workloads))
+	for _, name := range o.Workloads {
+		jobs = append(jobs, Job{name, cfg})
+	}
+	return o.Engine.Map(jobs)
 }
 
 // Fig5 reproduces Fig. 5: per-benchmark performance of the on-core TEA
@@ -90,30 +113,14 @@ func Fig5(o ExpOptions) ([]SpeedupRow, error) {
 // Fig6 reproduces Fig. 6: total branch MPKI per benchmark on the baseline.
 func Fig6(o ExpOptions) ([]Result, error) {
 	o = o.fill()
-	var rows []Result
-	for _, name := range o.Workloads {
-		r, err := Run(name, o.cfg(ModeBaseline))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+	return runAll(o, o.cfg(ModeBaseline))
 }
 
 // Fig7 reproduces Fig. 7: the breakdown of retired mispredictions into
 // covered / late / incorrect / uncovered under the TEA thread.
 func Fig7(o ExpOptions) ([]Result, error) {
 	o = o.fill()
-	var rows []Result
-	for _, name := range o.Workloads {
-		r, err := Run(name, o.cfg(ModeTEA))
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
-	}
-	return rows, nil
+	return runAll(o, o.cfg(ModeTEA))
 }
 
 // Fig8Row pairs the TEA and Branch Runahead speedups for one workload.
@@ -125,7 +132,9 @@ type Fig8Row struct {
 }
 
 // Fig8 reproduces Fig. 8: TEA vs Branch Runahead, with the paper's
-// simple/complex control-flow split (paper: 10.1% vs 7.3% geomean).
+// simple/complex control-flow split (paper: 10.1% vs 7.3% geomean). Both
+// halves share one engine, so each workload's baseline is simulated once
+// rather than once per mode.
 func Fig8(o ExpOptions) ([]Fig8Row, error) {
 	o = o.fill()
 	teaRows, err := runSpeedups(o, ModeTEA, nil)
@@ -136,7 +145,7 @@ func Fig8(o ExpOptions) ([]Fig8Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig8Row
+	rows := make([]Fig8Row, 0, len(teaRows))
 	for i := range teaRows {
 		rows = append(rows, Fig8Row{
 			Workload:   teaRows[i].Workload,
@@ -199,16 +208,26 @@ type Fig10Row struct {
 	Saved    float64
 }
 
-// Fig10 reproduces Fig. 10 (accuracy, coverage, timeliness ablations).
+// Fig10 reproduces Fig. 10 (accuracy, coverage, timeliness ablations). The
+// whole configuration × workload matrix is dispatched as one batch so every
+// cell can run in parallel.
 func Fig10(o ExpOptions) ([]Fig10Row, error) {
 	o = o.fill()
-	var rows []Fig10Row
-	for _, fc := range Fig10Configs() {
+	fcs := Fig10Configs()
+	jobs := make([]Job, 0, len(fcs)*len(o.Workloads))
+	for _, fc := range fcs {
 		for _, name := range o.Workloads {
-			r, err := Run(name, fc.Cfg(o.cfg(fc.Mode)))
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, Job{name, fc.Cfg(o.cfg(fc.Mode))})
+		}
+	}
+	res, err := o.Engine.Map(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig10Row, 0, len(jobs))
+	for i, fc := range fcs {
+		for j, name := range o.Workloads {
+			r := res[i*len(o.Workloads)+j]
 			rows = append(rows, Fig10Row{
 				Workload: name,
 				Config:   fc.Name,

@@ -45,18 +45,18 @@ func SensDefaults(p SensParam) []int {
 }
 
 // Sensitivity sweeps one parameter over the given values (nil = defaults)
-// for every workload in opts, measuring TEA speedup over the baseline.
+// for every workload in opts, measuring TEA speedup over the baseline. The
+// full workload × value matrix plus the per-workload baselines dispatch as
+// one engine batch.
 func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) {
 	opts = opts.fill()
 	if values == nil {
 		values = SensDefaults(p)
 	}
-	var rows []SensRow
+	stride := 1 + len(values) // baseline + one job per value, per workload
+	jobs := make([]Job, 0, stride*len(opts.Workloads))
 	for _, name := range opts.Workloads {
-		base, err := Run(name, opts.cfg(ModeBaseline))
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, Job{name, opts.cfg(ModeBaseline)})
 		for _, v := range values {
 			cfg := opts.cfg(ModeTEA)
 			switch p {
@@ -73,10 +73,18 @@ func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) 
 			default:
 				return nil, fmt.Errorf("tea: unknown sensitivity parameter %q", p)
 			}
-			r, err := Run(name, cfg)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, Job{name, cfg})
+		}
+	}
+	res, err := opts.Engine.Map(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SensRow, 0, len(values)*len(opts.Workloads))
+	for i, name := range opts.Workloads {
+		base := res[i*stride]
+		for j, v := range values {
+			r := res[i*stride+1+j]
 			rows = append(rows, SensRow{
 				Workload: name,
 				Value:    v,

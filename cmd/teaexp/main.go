@@ -6,6 +6,9 @@
 //	teaexp -exp fig8 -n 500000      # TEA vs Branch Runahead, 500k instrs each
 //	teaexp -exp all                 # every experiment (slow)
 //	teaexp -exp fig10 -workers 4    # bound the experiment worker pool
+//	teaexp -exp fig5 -json          # machine-readable output (also: -format csv)
+//	teaexp -exp fig5 -json -intervals         # per-interval time series per cell
+//	teaexp -exp fig5 -trace-out /tmp/t -w bfs # JSONL event trace per cell
 //	teaexp -exp fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: fig5 fig6 fig7 fig8 fig9 fig10 table3 prefetchonly tables all,
@@ -16,11 +19,16 @@
 // (default GOMAXPROCS; override with -workers or TEASIM_WORKERS), and all
 // experiments of one invocation share a baseline memoization cache, so
 // `-exp all` simulates each workload's baseline once.
+//
+// With -json or -format csv, stdout carries only the report data; timing
+// lines move to stderr. -progress streams per-job start/finish lines to
+// stderr in any format.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -36,15 +44,33 @@ func main() { os.Exit(realMain()) }
 // it separate from main lets deferred profile writers flush on every path.
 func realMain() int {
 	var (
-		exp     = flag.String("exp", "fig5", "experiment id (fig5..fig10, table3, prefetchonly, tables, all)")
-		n       = flag.Uint64("n", 1_000_000, "max instructions per run")
-		scale   = flag.Int("scale", 1, "workload input scale")
-		wl      = flag.String("w", "", "comma-separated workload subset (default all)")
-		workers = flag.Int("workers", 0, "experiment worker pool size (0 = TEASIM_WORKERS or GOMAXPROCS)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		exp      = flag.String("exp", "fig5", "experiment id (fig5..fig10, table3, prefetchonly, tables, all)")
+		n        = flag.Uint64("n", 1_000_000, "max instructions per run")
+		scale    = flag.Int("scale", 1, "workload input scale")
+		wl       = flag.String("w", "", "comma-separated workload subset (default all)")
+		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = TEASIM_WORKERS or GOMAXPROCS)")
+		format   = flag.String("format", "text", "report format: text | json | csv")
+		jsonFlag = flag.Bool("json", false, "shorthand for -format json")
+		ivals    = flag.Bool("intervals", false, "sample a per-interval time series into every cell's result (JSON output)")
+		ivPeriod = flag.Uint64("interval-period", 0, "interval sample period in retired instructions (0 = 10k)")
+		traceOut = flag.String("trace-out", "", "write per-cell JSONL event traces to <base>-<workload>-<mode>.jsonl")
+		progress = flag.Bool("progress", false, "stream per-job progress to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	outFmt := tea.FormatText
+	if *jsonFlag {
+		outFmt = tea.FormatJSON
+	} else {
+		f, err := tea.ParseFormat(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		outFmt = f
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -76,9 +102,38 @@ func realMain() int {
 
 	// One engine for the whole invocation: `-exp all` shares every
 	// (workload, budget, scale) baseline across figures.
-	opts := tea.ExpOptions{MaxInstructions: *n, Scale: *scale, Engine: tea.NewEngine(*workers)}
+	eng := tea.NewEngine(*workers)
+	if *progress {
+		eng.SetProgress(func(ev tea.JobEvent) {
+			switch ev.Phase {
+			case tea.JobStarted:
+				fmt.Fprintf(os.Stderr, "[job %d] %s/%s started\n", ev.Index, ev.Job.Workload, ev.Job.Cfg.Mode)
+			case tea.JobDone:
+				status := "done"
+				if ev.Err != nil {
+					status = "failed: " + ev.Err.Error()
+				}
+				fmt.Fprintf(os.Stderr, "[job %d] %s/%s %s in %v\n", ev.Index, ev.Job.Workload, ev.Job.Cfg.Mode,
+					status, ev.Wall.Round(time.Millisecond))
+			}
+		})
+	}
+	opts := tea.ExpOptions{
+		MaxInstructions: *n,
+		Scale:           *scale,
+		Engine:          eng,
+		Intervals:       *ivals,
+		IntervalPeriod:  *ivPeriod,
+	}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
+	}
+
+	var traces *traceFiles
+	if *traceOut != "" {
+		traces = &traceFiles{base: *traceOut, seen: map[string]int{}}
+		defer traces.closeAll()
+		opts.TraceOut = traces.open
 	}
 
 	ids := []string{*exp}
@@ -87,18 +142,79 @@ func realMain() int {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := runExp(id, opts); err != nil {
+		if err := runExp(id, outFmt, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Second))
+		// In text mode the timing line is part of the report stream (and of
+		// the CLI's stable output); in data formats it moves to stderr so
+		// stdout stays parseable.
+		timing := fmt.Sprintf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Second))
+		if outFmt == tea.FormatText {
+			fmt.Print(timing)
+		} else {
+			fmt.Fprint(os.Stderr, timing)
+		}
+	}
+	if traces != nil {
+		if err := traces.closeAll(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
 	return 0
 }
 
-func runExp(id string, opts tea.ExpOptions) error {
+// traceFiles opens one JSONL trace file per experiment cell, deduplicating
+// names when the same (workload, mode) appears in several cells (Fig. 10's
+// ablations, `-exp all`).
+type traceFiles struct {
+	base  string
+	seen  map[string]int
+	files []*os.File
+	err   error
+}
+
+// open returns the trace writer for one cell (nil after a failure, which is
+// reported at closeAll).
+func (t *traceFiles) open(workload string, mode tea.Mode) io.Writer {
+	if t.err != nil {
+		return nil
+	}
+	key := workload + "-" + mode.String()
+	t.seen[key]++
+	name := fmt.Sprintf("%s-%s.jsonl", t.base, key)
+	if c := t.seen[key]; c > 1 {
+		name = fmt.Sprintf("%s-%s-%d.jsonl", t.base, key, c)
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		t.err = err
+		return nil
+	}
+	t.files = append(t.files, f)
+	return f
+}
+
+// closeAll closes every opened trace file and reports the first error
+// (including a failed open). Safe to call twice.
+func (t *traceFiles) closeAll() error {
+	for _, f := range t.files {
+		if err := f.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	t.files = nil
+	return t.err
+}
+
+func runExp(id string, f tea.Format, opts tea.ExpOptions) error {
 	switch id {
 	case "tables":
+		if f != tea.FormatText {
+			fmt.Fprintln(os.Stderr, "[tables are text-only; skipped]")
+			return nil
+		}
 		printConfigTables()
 		return nil
 	case "fig5":
@@ -106,72 +222,71 @@ func runExp(id string, opts tea.ExpOptions) error {
 		if err != nil {
 			return err
 		}
-		tea.PrintSpeedups(os.Stdout, "Fig 5: TEA thread speedup over baseline (paper geomean +10.1%)", rows)
+		return tea.WriteSpeedups(os.Stdout, f, "Fig 5: TEA thread speedup over baseline (paper geomean +10.1%)", rows)
 	case "fig6":
 		rows, err := tea.Fig6(opts)
 		if err != nil {
 			return err
 		}
-		tea.PrintFig6(os.Stdout, rows)
+		return tea.WriteFig6(os.Stdout, f, rows)
 	case "fig7":
 		rows, err := tea.Fig7(opts)
 		if err != nil {
 			return err
 		}
-		tea.PrintFig7(os.Stdout, rows)
+		return tea.WriteFig7(os.Stdout, f, rows)
 	case "fig8":
 		rows, err := tea.Fig8(opts)
 		if err != nil {
 			return err
 		}
-		tea.PrintFig8(os.Stdout, rows)
+		return tea.WriteFig8(os.Stdout, f, rows)
 	case "fig9":
 		rows, err := tea.Fig9(opts)
 		if err != nil {
 			return err
 		}
-		tea.PrintSpeedups(os.Stdout, "Fig 9: TEA on a dedicated execution engine (paper geomean +12.3%)", rows)
+		return tea.WriteSpeedups(os.Stdout, f, "Fig 9: TEA on a dedicated execution engine (paper geomean +12.3%)", rows)
 	case "fig9big":
 		rows, err := tea.Fig9Big(opts)
 		if err != nil {
 			return err
 		}
-		tea.PrintSpeedups(os.Stdout, "§V-D: TEA on a main-core-sized engine (paper geomean +12.8%)", rows)
+		return tea.WriteSpeedups(os.Stdout, f, "§V-D: TEA on a main-core-sized engine (paper geomean +12.8%)", rows)
 	case "wide16":
 		rows, err := tea.Wide16(opts)
 		if err != nil {
 			return err
 		}
-		tea.PrintSpeedups(os.Stdout, "§IV-H: 16-wide frontend, no precomputation (paper ~+2.8%)", rows)
+		return tea.WriteSpeedups(os.Stdout, f, "§IV-H: 16-wide frontend, no precomputation (paper ~+2.8%)", rows)
 	case "fig10":
 		rows, err := tea.Fig10(opts)
 		if err != nil {
 			return err
 		}
-		tea.PrintFig10(os.Stdout, rows)
+		return tea.WriteFig10(os.Stdout, f, rows)
 	case "table3":
 		rows, err := tea.Table3(opts)
 		if err != nil {
 			return err
 		}
-		tea.PrintTable3(os.Stdout, rows)
+		return tea.WriteTable3(os.Stdout, f, rows)
 	case "prefetchonly":
 		rows, err := tea.PrefetchOnly(opts)
 		if err != nil {
 			return err
 		}
-		tea.PrintSpeedups(os.Stdout, "§V-B aside: early resolution disabled (prefetch effect only; paper +1.2%)", rows)
+		return tea.WriteSpeedups(os.Stdout, f, "§V-B aside: early resolution disabled (prefetch effect only; paper +1.2%)", rows)
 	case "sens-blockcache", "sens-fillbuffer", "sens-h2pdecay", "sens-lead", "sens-fetchqueue":
 		p := tea.SensParam(strings.TrimPrefix(id, "sens-"))
 		rows, err := tea.Sensitivity(p, nil, opts)
 		if err != nil {
 			return err
 		}
-		tea.PrintSensitivity(os.Stdout, p, rows)
+		return tea.WriteSensitivity(os.Stdout, f, p, rows)
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
-	return nil
 }
 
 func printConfigTables() {

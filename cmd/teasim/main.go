@@ -6,10 +6,13 @@
 //	teasim -w bfs -mode tea -n 1000000
 //	teasim -w mcf -mode baseline
 //	teasim -w bfs -mode tea -speedup   # run the baseline too (in parallel)
+//	teasim -w bfs -mode tea -json -intervals            # machine-readable result
+//	teasim -w bfs -mode tea -trace-out trace.jsonl -trace-start 60000 -trace-end 61000
 //	teasim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +21,14 @@ import (
 
 	"teasim/tea"
 )
+
+// jsonOutput is the -json envelope: the run's result, plus the baseline and
+// speedup when -speedup is set.
+type jsonOutput struct {
+	Result   tea.Result  `json:"result"`
+	Baseline *tea.Result `json:"baseline,omitempty"`
+	Speedup  float64     `json:"speedup,omitempty"` // cycles(baseline)/cycles(run)
+}
 
 func main() {
 	var (
@@ -33,6 +44,12 @@ func main() {
 		noFlush  = flag.Bool("noflush", false, "ablation: disable early flushes")
 		speedup  = flag.Bool("speedup", false, "also run the baseline and report the speedup")
 		workers  = flag.Int("workers", 0, "engine worker pool size (0 = TEASIM_WORKERS or GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "print the result as JSON (wall time goes to stderr)")
+		ivals    = flag.Bool("intervals", false, "sample a per-interval time series into the result")
+		ivPeriod = flag.Uint64("interval-period", 0, "interval sample period in retired instructions (0 = 10k)")
+		traceOut = flag.String("trace-out", "", "write a JSONL event trace to this file")
+		trStart  = flag.Uint64("trace-start", 0, "first traced cycle (with -trace-out)")
+		trEnd    = flag.Uint64("trace-end", 0, "last traced cycle, 0 = unbounded (with -trace-out)")
 	)
 	flag.Parse()
 
@@ -71,6 +88,19 @@ func main() {
 		NoMasks:           *noMasks,
 		NoMem:             *noMem,
 		DisableEarlyFlush: *noFlush,
+		Intervals:         *ivals,
+		IntervalPeriod:    *ivPeriod,
+		TraceStart:        *trStart,
+		TraceEnd:          *trEnd,
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.TraceTo = f
 	}
 	// Dispatch through the experiment engine: panic capture for free, and
 	// with -speedup the baseline cell runs in parallel on multi-core hosts.
@@ -88,6 +118,23 @@ func main() {
 	}
 	el := time.Since(start)
 	res := results[0]
+
+	if *jsonOut {
+		out := jsonOutput{Result: res}
+		if len(results) > 1 {
+			out.Baseline = &results[1]
+			out.Speedup = float64(results[1].Cycles) / float64(res.Cycles)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sim wall time %v (%.2f Minstr/s)\n", el.Round(time.Millisecond),
+			float64(res.Instructions)/el.Seconds()/1e6)
+		return
+	}
 
 	fmt.Printf("workload      %s (%s)\n", res.Workload, res.Mode)
 	fmt.Printf("instructions  %d\n", res.Instructions)

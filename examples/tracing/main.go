@@ -2,33 +2,55 @@
 // execution — retirements, mispredictions, and the TEA thread's early
 // flushes — showing the timestamp-synchronized flush mechanism in action.
 //
+// The trace flows through the telemetry subsystem: a Collector bounds the
+// window, and the sink chooses the rendering. The default text sink prints
+// the human-readable one-line-per-event form; pass -jsonl to emit the
+// machine-readable JSONL schema documented in DESIGN.md instead.
+//
 //	go run ./examples/tracing | head -60
+//	go run ./examples/tracing -jsonl | head -5
 package main
 
 import (
+	"flag"
 	"log"
 	"os"
 
 	"teasim/internal/core"
 	"teasim/internal/pipeline"
+	"teasim/internal/telemetry"
 	"teasim/internal/workloads"
 )
 
 func main() {
+	jsonl := flag.Bool("jsonl", false, "emit JSONL events instead of text")
+	flag.Parse()
+
 	w, _ := workloads.ByName("bfs")
 	prog := w.Build(1)
+
+	var sink telemetry.Sink = telemetry.NewText(os.Stdout)
+	if *jsonl {
+		sink = telemetry.NewJSONL(os.Stdout)
+	}
 
 	cfg := pipeline.DefaultConfig()
 	cfg.MaxInstructions = 120_000
 	cfg.MaxCycles = 50_000_000
 	// Trace a window after warm-up: the H2P table, Block Cache, and TEA
 	// thread are all live by then.
-	cfg.TraceW = os.Stdout
-	cfg.TraceStart, cfg.TraceEnd = 60_000, 60_400
+	cfg.Telemetry = telemetry.NewCollector(telemetry.Config{
+		Sink:       sink,
+		TraceStart: 60_000,
+		TraceEnd:   60_400,
+	})
 
 	c := pipeline.New(cfg, prog)
 	core.New(core.DefaultConfig(), c)
 	if err := c.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cfg.Telemetry.Close(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"teasim/internal/isa"
 	"teasim/internal/pipeline"
+	"teasim/internal/telemetry"
 )
 
 // TEA is the precomputation thread, attached to a pipeline.Core as its
@@ -105,6 +106,11 @@ type TEA struct {
 
 	debugWrong int // test hook: print the first N wrong precomputations
 
+	// Telemetry (see telemetry.go): interval snapshot and the cycles-saved
+	// histogram (nil when no collector is attached).
+	ivLast    ivSnapshot
+	savedHist *telemetry.Histogram
+
 	Stats Stats
 }
 
@@ -166,6 +172,7 @@ func New(cfg Config, c *pipeline.Core) *TEA {
 	t.ckpts = make([]ratCkpt, 0, 64)
 	t.resetPRState()
 	c.Attach(t)
+	t.telemRegister()
 	return t
 }
 
@@ -339,6 +346,9 @@ func (t *TEA) classifyMisprediction(rec *pipeline.BranchRec) {
 		t.Stats.CoveredMisp++
 		t.winCovered++
 		t.Stats.CyclesSaved += rec.ResolveCycle - rec.PreCycle
+		if t.savedHist != nil {
+			t.savedHist.Observe(float64(rec.ResolveCycle - rec.PreCycle))
+		}
 	default:
 		// Correct and early, but the flush was suppressed or disabled:
 		// no benefit was delivered.

@@ -5,17 +5,21 @@ import (
 	"testing"
 
 	"teasim/internal/asm"
+	"teasim/internal/telemetry"
 )
 
 // BenchmarkCorePerCycle measures the simulator's per-cycle cost on a
 // branchy workload (simulation throughput, not simulated performance).
 // allocs/kinstr is the allocation-regression tripwire for the pipeline hot
 // path: steady-state ticking should run entirely out of the object pools.
+// The null-sink telemetry collector is attached so the tripwire also covers
+// the interval-sampling path when nobody is listening.
 func BenchmarkCorePerCycle(b *testing.B) {
 	bb := asm.NewBuilder()
 	buildTorture(bb, 42, 24, 1_000_000_000) // effectively unbounded
 	p := bb.MustBuild()
 	cfg := DefaultConfig()
+	cfg.Telemetry = telemetry.NewCollector(telemetry.Config{Sink: telemetry.NullSink{}})
 	c := New(cfg, p)
 	b.ReportAllocs()
 	var ms0, ms1 runtime.MemStats

@@ -1,5 +1,7 @@
 package pipeline
 
+import "teasim/internal/telemetry"
+
 // Companion is a precomputation engine attached to the core — the TEA
 // thread (internal/core) or the Branch Runahead baseline (internal/runahead).
 // The pipeline calls the hooks; the companion drives its own fetch/rename in
@@ -54,6 +56,13 @@ type Companion interface {
 	// the in-flight branch queue fail-safe) that its precomputed outcome was
 	// wrong (§IV-G).
 	PrecomputationWrong(pc uint64)
+
+	// OnInterval is called at every telemetry interval boundary so the
+	// companion can annotate the sample with its own per-interval metrics
+	// (coverage, accuracy, Block Cache hit rate, Fill Buffer occupancy).
+	// Only invoked when telemetry is attached; must not mutate companion
+	// state that affects simulation.
+	OnInterval(iv *telemetry.Interval)
 }
 
 // nopCompanion is used when no precomputation engine is attached.
@@ -74,3 +83,4 @@ func (nopCompanion) BranchResolved(*Uop, bool, uint64)    {}
 func (nopCompanion) UopExecuted(*Uop)                     {}
 func (nopCompanion) UopSquashed(*Uop)                     {}
 func (nopCompanion) PrecomputationWrong(uint64)           {}
+func (nopCompanion) OnInterval(*telemetry.Interval)       {}

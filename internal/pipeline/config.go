@@ -17,7 +17,7 @@
 // sequence numbers — the paper's synchronized timestamps.
 package pipeline
 
-import "io"
+import "teasim/internal/telemetry"
 
 // Config holds all core parameters (defaults = Table I).
 type Config struct {
@@ -65,12 +65,13 @@ type Config struct {
 	// CoSim enables golden-model checking at retirement (tests).
 	CoSim bool
 
-	// TraceW, when non-nil, receives a one-line-per-event text trace of
-	// retirement and flush activity between TraceStart and TraceEnd cycles
-	// (TraceEnd 0 = unbounded).
-	TraceW     io.Writer
-	TraceStart uint64
-	TraceEnd   uint64
+	// Telemetry, when non-nil, receives structured trace events (retire,
+	// flush, early-flush — the successor of the old printf trace) and
+	// per-interval time-series samples through its Sink. See
+	// internal/telemetry for sinks and the Collector's trace window and
+	// sampling period. Telemetry is purely observational: attaching it
+	// never changes simulated behavior.
+	Telemetry *telemetry.Collector
 
 	// MaxInstructions stops the run after retiring this many (0 = until halt).
 	MaxInstructions uint64

@@ -7,6 +7,7 @@ import (
 	"teasim/internal/emu"
 	"teasim/internal/isa"
 	"teasim/internal/mem"
+	"teasim/internal/telemetry"
 )
 
 // Core is the out-of-order core simulator.
@@ -74,6 +75,11 @@ type Core struct {
 
 	pool pools
 
+	// Telemetry (nil = disabled; see Config.Telemetry).
+	telem      *telemetry.Collector
+	ivLast     ivSnapshot
+	earlyFlush bool // inside EarlyFlush: flushAfter emits EvEarlyFlush
+
 	halted bool
 
 	Stats Stats
@@ -111,6 +117,10 @@ func New(cfg Config, prog *isa.Program) *Core {
 	}
 	if cfg.CoSim {
 		c.gold = emu.NewWithMem(prog, c.Mem.Clone())
+	}
+	if cfg.Telemetry != nil {
+		c.telem = cfg.Telemetry
+		c.telemRegister()
 	}
 	return c
 }
@@ -152,6 +162,10 @@ func (c *Core) SetPartition(active bool, rsReserve, prReserve int) {
 // Halted reports whether the program's halt instruction has retired.
 func (c *Core) Halted() bool { return c.halted }
 
+// Telemetry returns the attached collector (nil when telemetry is off) so
+// companions can register their own metrics on its registry.
+func (c *Core) Telemetry() *telemetry.Collector { return c.telem }
+
 // Seq returns the next unassigned sequence number (diagnostics).
 func (c *Core) Seq() uint64 { return c.seq }
 
@@ -189,11 +203,23 @@ func (c *Core) EarlyFlush(rec *BranchRec, taken bool, target uint64) {
 		next = rec.PC + isa.InstBytes
 	}
 	c.Stats.EarlyFlushes++
+	c.earlyFlush = true
 	c.flushAfter(rec.Seq, next, rec, taken, target)
+	c.earlyFlush = false
 }
 
 // Run executes until halt, the instruction budget, or the cycle limit.
-func (c *Core) Run() error {
+func (c *Core) Run() error { return c.RunChecked(0, nil) }
+
+// RunChecked is Run with a cooperative cancellation point: every quantum
+// cycles it calls check, and a non-nil return aborts the run with that
+// error. quantum 0 (or a nil check) disables checking. The quantum bounds
+// cancellation latency without putting a call in the per-cycle loop.
+func (c *Core) RunChecked(quantum uint64, check func() error) error {
+	if quantum == 0 || check == nil {
+		quantum, check = 0, nil
+	}
+	nextCheck := c.Cycle + quantum
 	for !c.halted {
 		if err := c.Tick(); err != nil {
 			return err
@@ -204,6 +230,12 @@ func (c *Core) Run() error {
 		if c.Cfg.MaxCycles > 0 && c.Cycle >= c.Cfg.MaxCycles {
 			return fmt.Errorf("pipeline: cycle limit %d reached at %d retired (possible wedge)",
 				c.Cfg.MaxCycles, c.Stats.Retired)
+		}
+		if quantum != 0 && c.Cycle >= nextCheck {
+			if err := check(); err != nil {
+				return err
+			}
+			nextCheck = c.Cycle + quantum
 		}
 	}
 	return nil

@@ -141,8 +141,8 @@ func (c *Core) flushAfter(seq uint64, redirectPC uint64, rec *BranchRec, actualT
 	c.streamResumeAt = c.Cycle + c.Cfg.MispredictExtraLat
 	c.fetchStallTil = 0
 
-	if c.Cfg.TraceW != nil {
-		c.traceFlush(seq, redirectPC, false)
+	if c.telem != nil && c.telem.TraceOn(c.Cycle) {
+		c.telemFlush(seq, redirectPC, c.earlyFlush)
 	}
 
 	// After the walk-back, the flushed branch (if it had renamed) is the

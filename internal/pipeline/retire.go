@@ -63,8 +63,13 @@ func (c *Core) retire() error {
 		}
 		c.rob.popFront()
 		c.Stats.Retired++
-		if c.Cfg.TraceW != nil {
-			c.traceRetire(u)
+		if c.telem != nil {
+			if c.telem.TraceOn(c.Cycle) {
+				c.telemRetire(u)
+			}
+			if c.telem.IntervalDue(c.Stats.Retired) {
+				c.telemInterval()
+			}
 		}
 		c.comp.OnRetire(u) // companion reads u (and u.Rec) synchronously
 		halt := u.In.Op == isa.OpHalt

@@ -1,0 +1,113 @@
+package pipeline
+
+import "teasim/internal/telemetry"
+
+// Telemetry integration: when Config.Telemetry is set, the core emits
+// structured trace events (retirements, flushes, early flushes) inside the
+// collector's trace window and one time-series sample every IntervalPeriod
+// retired instructions. With no collector attached — or with the null sink
+// — every hook below reduces to a branch, keeping the hot path
+// allocation-free (BenchmarkCorePerCycle guards this).
+//
+//	ring := telemetry.NewRing(4096)
+//	cfg.Telemetry = telemetry.NewCollector(telemetry.Config{Sink: ring})
+
+// ivSnapshot remembers the cumulative counters at the previous interval
+// boundary so samples carry deltas.
+type ivSnapshot struct {
+	cycles       uint64
+	retired      uint64
+	condMisp     uint64
+	indMisp      uint64
+	flushes      uint64
+	earlyFlushes uint64
+}
+
+// telemRegister exposes pipeline occupancies and cumulative counters on the
+// collector's registry; they ride along in every interval sample.
+func (c *Core) telemRegister() {
+	reg := c.telem.Registry()
+	reg.GaugeFunc("pipeline.rob_occupancy", func() float64 { return float64(c.rob.len()) })
+	reg.GaugeFunc("pipeline.rs_occupancy", func() float64 { return float64(len(c.rs)) })
+	reg.GaugeFunc("pipeline.fetchq_blocks", func() float64 { return float64(c.fetchQ.len()) })
+	reg.GaugeFunc("pipeline.fetched_uops", func() float64 { return float64(c.Stats.FetchedUops) })
+	reg.GaugeFunc("pipeline.executed_uops", func() float64 { return float64(c.Stats.ExecutedUops) })
+	reg.GaugeFunc("pipeline.companion_uops", func() float64 { return float64(c.Stats.CompanionUops) })
+	reg.GaugeFunc("pipeline.resteers", func() float64 { return float64(c.Stats.ResteerDecode) })
+}
+
+// telemRetire emits one retire event. Callers must have checked
+// c.telem.TraceOn(c.Cycle): event construction formats instruction text.
+func (c *Core) telemRetire(u *Uop) {
+	e := telemetry.Event{
+		Cycle:  c.Cycle,
+		Kind:   telemetry.EvRetire,
+		Seq:    u.Seq,
+		PC:     u.PC,
+		Disasm: u.In.String(),
+	}
+	switch {
+	case u.isBranch():
+		e.Branch = true
+		e.Taken = u.Taken
+		if u.Taken {
+			e.Target = u.Target
+		}
+		if u.Rec != nil && u.Rec.WasMispred {
+			e.Mispredict = true
+			e.EarlyFlushed = u.Rec.Precomputed && u.Rec.PreFlushed
+		}
+	case u.isLoad() || u.isStore():
+		e.Mem = true
+		e.Addr = u.Addr
+	}
+	c.telem.Emit(e)
+}
+
+// telemFlush emits one flush event (early reports a companion-triggered
+// early flush). Callers must have checked TraceOn.
+func (c *Core) telemFlush(seq, redirect uint64, early bool) {
+	kind := telemetry.EvFlush
+	if early {
+		kind = telemetry.EvEarlyFlush
+	}
+	c.telem.Emit(telemetry.Event{
+		Cycle:    c.Cycle,
+		Kind:     kind,
+		Seq:      seq,
+		Redirect: redirect,
+		ROB:      c.rob.len(),
+		RS:       len(c.rs),
+		FQ:       c.fetchQ.len(),
+	})
+}
+
+// telemInterval emits one time-series sample: core rates over the interval
+// since the previous boundary, companion annotations (TEA coverage,
+// accuracy, Block Cache hit rate, Fill Buffer occupancy), and the registry
+// snapshot.
+func (c *Core) telemInterval() {
+	iv := c.telem.BeginInterval(c.Cycle, c.Stats.Retired)
+	last := &c.ivLast
+	iv.Cycles = c.Cycle - last.cycles
+	iv.Instructions = c.Stats.Retired - last.retired
+	if iv.Cycles > 0 {
+		iv.IPC = float64(iv.Instructions) / float64(iv.Cycles)
+	}
+	misp := (c.Stats.CondMispredicts - last.condMisp) + (c.Stats.IndMispredicts - last.indMisp)
+	if iv.Instructions > 0 {
+		iv.MPKI = float64(misp) * 1000 / float64(iv.Instructions)
+	}
+	iv.Flushes = c.Stats.Flushes - last.flushes
+	iv.EarlyFlushes = c.Stats.EarlyFlushes - last.earlyFlushes
+	c.comp.OnInterval(iv)
+	c.telem.EmitInterval()
+	*last = ivSnapshot{
+		cycles:       c.Cycle,
+		retired:      c.Stats.Retired,
+		condMisp:     c.Stats.CondMispredicts,
+		indMisp:      c.Stats.IndMispredicts,
+		flushes:      c.Stats.Flushes,
+		earlyFlushes: c.Stats.EarlyFlushes,
+	}
+}

@@ -6,13 +6,16 @@ import (
 
 	"teasim/internal/asm"
 	"teasim/internal/isa"
+	"teasim/internal/telemetry"
 )
 
-func TestTraceEmitsEvents(t *testing.T) {
+// branchTorture builds a short program with a data-dependent branch that
+// the predictor cannot learn (xorshift parity).
+func branchTorture(iters int64) *isa.Program {
 	b := asm.NewBuilder()
 	b.Li(isa.R1, 0)
 	b.Li(isa.R11, 0xABCDE)
-	b.Li(isa.R2, 2000)
+	b.Li(isa.R2, iters)
 	b.Label("loop")
 	b.ShlI(isa.R3, isa.R11, 13)
 	b.Xor(isa.R11, isa.R11, isa.R3)
@@ -25,15 +28,23 @@ func TestTraceEmitsEvents(t *testing.T) {
 	b.AddI(isa.R1, isa.R1, 1)
 	b.Blt(isa.R1, isa.R2, "loop")
 	b.Halt()
+	return b.MustBuild()
+}
 
+func TestTraceEmitsEvents(t *testing.T) {
 	var sb strings.Builder
 	cfg := DefaultConfig()
 	cfg.CoSim = true
 	cfg.MaxCycles = 2_000_000
-	cfg.TraceW = &sb
-	cfg.TraceStart, cfg.TraceEnd = 0, 4000
-	c := New(cfg, b.MustBuild())
+	cfg.Telemetry = telemetry.NewCollector(telemetry.Config{
+		Sink:     telemetry.NewText(&sb),
+		TraceEnd: 4000,
+	})
+	c := New(cfg, branchTorture(2000))
 	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Telemetry.Close(); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -56,16 +67,140 @@ func TestTraceWindowBounds(t *testing.T) {
 	b.AddI(isa.R1, isa.R1, 1)
 	b.Blt(isa.R1, isa.R2, "loop")
 	b.Halt()
-	var sb strings.Builder
+	ring := telemetry.NewRing(64)
 	cfg := DefaultConfig()
 	cfg.MaxCycles = 100_000
-	cfg.TraceW = &sb
-	cfg.TraceStart, cfg.TraceEnd = 1<<40, 1<<41 // window never reached
+	cfg.Telemetry = telemetry.NewCollector(telemetry.Config{
+		Sink:       ring,
+		TraceStart: 1 << 40, TraceEnd: 1 << 41, // window never reached
+		NoIntervals: true,
+	})
 	c := New(cfg, b.MustBuild())
 	if err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if sb.Len() != 0 {
-		t.Fatalf("trace emitted outside window: %q", sb.String()[:50])
+	if evs := ring.Events(); len(evs) != 0 {
+		t.Fatalf("trace emitted outside window: %+v", evs[0])
+	}
+	if ivs := ring.Intervals(); len(ivs) != 0 {
+		t.Fatalf("NoIntervals still sampled %d intervals", len(ivs))
+	}
+}
+
+// TestTraceStructuredEvents checks the machine-readable side of the schema:
+// retire events carry branch/memory annotations and flush events carry the
+// redirect target and occupancies.
+func TestTraceStructuredEvents(t *testing.T) {
+	ring := telemetry.NewRing(1 << 16)
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 2_000_000
+	cfg.Telemetry = telemetry.NewCollector(telemetry.Config{Sink: ring})
+	c := New(cfg, branchTorture(2000))
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var branches, mispredicts, flushes int
+	var lastCycle uint64
+	for _, e := range ring.Events() {
+		if e.Cycle < lastCycle {
+			t.Fatalf("events out of cycle order: %d after %d", e.Cycle, lastCycle)
+		}
+		lastCycle = e.Cycle
+		switch e.Kind {
+		case telemetry.EvRetire:
+			if e.Disasm == "" {
+				t.Fatal("retire event missing disassembly")
+			}
+			if e.Branch {
+				branches++
+				if e.Mispredict {
+					mispredicts++
+				}
+			}
+		case telemetry.EvFlush, telemetry.EvEarlyFlush:
+			flushes++
+			if e.Redirect == 0 {
+				t.Fatalf("flush event missing redirect: %+v", e)
+			}
+		}
+	}
+	if branches == 0 || mispredicts == 0 || flushes == 0 {
+		t.Fatalf("branches=%d mispredicts=%d flushes=%d, want all nonzero",
+			branches, mispredicts, flushes)
+	}
+}
+
+// TestIntervalSampling drives a run with interval sampling and checks the
+// samples are periodic, internally consistent, and that their deltas sum
+// back to the cumulative totals.
+func TestIntervalSampling(t *testing.T) {
+	ring := telemetry.NewRing(0)
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 10_000_000
+	cfg.Telemetry = telemetry.NewCollector(telemetry.Config{
+		Sink:           ring,
+		IntervalPeriod: 1000,
+	})
+	c := New(cfg, branchTorture(5000))
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ivs := ring.Intervals()
+	if len(ivs) < 10 {
+		t.Fatalf("got %d intervals, want >= 10 (retired %d)", len(ivs), c.Stats.Retired)
+	}
+	var instrs, cycles, flushes uint64
+	for i, iv := range ivs {
+		if iv.Index != i {
+			t.Fatalf("interval %d has index %d", i, iv.Index)
+		}
+		if iv.Instructions == 0 || iv.Cycles == 0 {
+			t.Fatalf("interval %d empty: %+v", i, iv)
+		}
+		if want := float64(iv.Instructions) / float64(iv.Cycles); iv.IPC != want {
+			t.Fatalf("interval %d IPC %v, want %v", i, iv.IPC, want)
+		}
+		if len(iv.Metrics) == 0 {
+			t.Fatalf("interval %d carries no registry metrics", i)
+		}
+		instrs += iv.Instructions
+		cycles += iv.Cycles
+		flushes += iv.Flushes
+	}
+	last := ivs[len(ivs)-1]
+	if instrs != last.Retired {
+		t.Fatalf("interval instruction deltas sum to %d, last sample cumulative %d", instrs, last.Retired)
+	}
+	if cycles != last.Cycle {
+		t.Fatalf("interval cycle deltas sum to %d, last sample at cycle %d", cycles, last.Cycle)
+	}
+	if flushes == 0 {
+		t.Fatal("no flushes sampled across intervals (torture branch must mispredict)")
+	}
+	if c.Stats.Flushes < flushes {
+		t.Fatalf("interval flush sum %d exceeds cumulative %d", flushes, c.Stats.Flushes)
+	}
+}
+
+// TestTelemetryObservationOnly asserts attaching telemetry does not change
+// simulated behavior: cycle-exact identical results with and without it.
+func TestTelemetryObservationOnly(t *testing.T) {
+	run := func(col *telemetry.Collector) Stats {
+		cfg := DefaultConfig()
+		cfg.MaxCycles = 10_000_000
+		cfg.Telemetry = col
+		c := New(cfg, branchTorture(3000))
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats
+	}
+	plain := run(nil)
+	traced := run(telemetry.NewCollector(telemetry.Config{
+		Sink:           telemetry.NewRing(1024),
+		IntervalPeriod: 500,
+	}))
+	if plain != traced {
+		t.Fatalf("telemetry changed simulation:\nplain:  %+v\ntraced: %+v", plain, traced)
 	}
 }

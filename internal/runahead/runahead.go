@@ -28,6 +28,7 @@ import (
 	"teasim/internal/emu"
 	"teasim/internal/isa"
 	"teasim/internal/pipeline"
+	"teasim/internal/telemetry"
 )
 
 // Config holds the Branch Runahead parameters (the scaled-up configuration
@@ -163,6 +164,12 @@ type BR struct {
 	retired   uint64
 	nextDecay uint64
 
+	// Telemetry interval snapshot (see OnInterval).
+	ivLast struct {
+		covered, incorrect, uncovered uint64
+		precomputed, preCorrect       uint64
+	}
+
 	Stats Stats
 }
 
@@ -194,6 +201,27 @@ func New(cfg Config, c *pipeline.Core) *BR {
 
 // OnBlock is unused.
 func (b *BR) OnBlock(*pipeline.FetchBlock) {}
+
+// OnInterval annotates a telemetry sample with the engine's per-interval
+// override coverage and accuracy (Branch Runahead has no Block Cache or
+// Fill Buffer, so those fields stay zero).
+func (b *BR) OnInterval(iv *telemetry.Interval) {
+	s := &b.Stats
+	last := &b.ivLast
+	dCov := s.CoveredMisp - last.covered
+	dInc := s.IncorrectMisp - last.incorrect
+	dUnc := s.UncoveredMisp - last.uncovered
+	if total := dCov + dInc + dUnc; total > 0 {
+		iv.Coverage = float64(dCov) / float64(total)
+	}
+	if dPre := s.Precomputed - last.precomputed; dPre > 0 {
+		iv.Accuracy = float64(s.PreCorrect-last.preCorrect) / float64(dPre)
+	} else {
+		iv.Accuracy = 1
+	}
+	last.covered, last.incorrect, last.uncovered = s.CoveredMisp, s.IncorrectMisp, s.UncoveredMisp
+	last.precomputed, last.preCorrect = s.Precomputed, s.PreCorrect
+}
 
 // OnMainFetch is unused.
 func (b *BR) OnMainFetch(*pipeline.Uop) {}

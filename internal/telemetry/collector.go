@@ -1,0 +1,119 @@
+package telemetry
+
+// DefaultIntervalPeriod is the default time-series sampling period, in
+// retired instructions. Flush counts and the other interval rates are
+// therefore "per 10k retired instructions" unless overridden.
+const DefaultIntervalPeriod = 10_000
+
+// Config configures a Collector.
+type Config struct {
+	// Sink receives events and intervals (nil = NullSink).
+	Sink Sink
+	// IntervalPeriod is the retired-instruction distance between interval
+	// samples (0 = DefaultIntervalPeriod). Sampling can be disabled by
+	// setting NoIntervals.
+	IntervalPeriod uint64
+	// NoIntervals disables time-series sampling entirely.
+	NoIntervals bool
+	// TraceStart and TraceEnd bound the trace-event window in cycles
+	// (TraceEnd 0 = unbounded). Interval samples ignore the window.
+	TraceStart, TraceEnd uint64
+}
+
+// Collector owns one run's telemetry state: the metric registry, the
+// sampling cursor, and scratch Event/Interval storage so the steady-state
+// emission path allocates nothing. A Collector (like its Sink) belongs to
+// exactly one simulated core.
+type Collector struct {
+	sink    Sink
+	reg     *Registry
+	tracing bool // false for NullSink: event construction is skipped
+	start   uint64
+	end     uint64
+
+	period uint64
+	next   uint64 // retired-instruction count of the next sample (0 = off)
+	index  int
+
+	evt Event    // scratch for Emit
+	iv  Interval // scratch for BeginInterval/EmitInterval
+}
+
+// NewCollector builds a collector from cfg.
+func NewCollector(cfg Config) *Collector {
+	c := &Collector{
+		sink:  cfg.Sink,
+		reg:   NewRegistry(),
+		start: cfg.TraceStart,
+		end:   cfg.TraceEnd,
+	}
+	if c.sink == nil {
+		c.sink = NullSink{}
+	}
+	if _, null := c.sink.(NullSink); !null {
+		c.tracing = true
+	}
+	if !cfg.NoIntervals {
+		c.period = cfg.IntervalPeriod
+		if c.period == 0 {
+			c.period = DefaultIntervalPeriod
+		}
+		c.next = c.period
+	}
+	return c
+}
+
+// Registry returns the collector's metric registry.
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// Sink returns the collector's sink.
+func (c *Collector) Sink() Sink { return c.sink }
+
+// TraceOn reports whether a trace event at the given cycle should be
+// emitted: a real sink is attached and the cycle is inside the window.
+// Callers must check this before building an Event, so the null path never
+// constructs one (Event construction may format instruction text).
+func (c *Collector) TraceOn(cycle uint64) bool {
+	return c.tracing && cycle >= c.start && (c.end == 0 || cycle <= c.end)
+}
+
+// Emit forwards one trace event. Callers are expected to have checked
+// TraceOn; Emit re-checks only the sink so a stray call stays safe.
+func (c *Collector) Emit(e Event) {
+	if !c.tracing {
+		return
+	}
+	c.evt = e
+	c.sink.Event(&c.evt)
+}
+
+// IntervalDue reports whether the retired-instruction count has crossed
+// the next sample boundary.
+func (c *Collector) IntervalDue(retired uint64) bool {
+	return c.next != 0 && retired >= c.next
+}
+
+// BeginInterval resets and returns the scratch interval for the sample at
+// (cycle, retired). The caller fills the delta fields (and lets the
+// companion annotate its own) before calling EmitInterval.
+func (c *Collector) BeginInterval(cycle, retired uint64) *Interval {
+	metrics := c.iv.Metrics[:0] // keep the backing array across samples
+	c.iv = Interval{Index: c.index, Cycle: cycle, Retired: retired, Metrics: metrics}
+	return &c.iv
+}
+
+// EmitInterval appends the registry snapshot to the scratch interval,
+// forwards it to the sink, and advances the sampling cursor.
+func (c *Collector) EmitInterval() {
+	// Iterate the registry directly (not via Visit) so the sample path has
+	// no closure and stays allocation-free after the Metrics slice warms up.
+	for _, name := range c.reg.names {
+		c.iv.Metrics = append(c.iv.Metrics, Metric{Name: name, Value: c.reg.value(name)})
+	}
+	c.sink.Interval(&c.iv)
+	c.index++
+	c.next += c.period
+}
+
+// Close closes the sink.
+func (c *Collector) Close() error { return c.sink.Close() }

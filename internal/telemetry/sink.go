@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sink consumes structured trace events and interval samples. The *Event
+// and *Interval arguments are scratch storage owned by the caller and
+// reused across calls: a sink that retains data must copy it.
+//
+// Sinks are not synchronized; one sink serves one simulated core.
+type Sink interface {
+	// Event receives one trace event (only inside the trace window).
+	Event(e *Event)
+	// Interval receives one time-series sample.
+	Interval(iv *Interval)
+	// Close flushes buffered output. The sink must not be used afterwards.
+	Close() error
+}
+
+// NullSink discards everything. A Collector detects it and skips event
+// construction entirely, so the null path stays allocation-free.
+type NullSink struct{}
+
+// Event discards e.
+func (NullSink) Event(*Event) {}
+
+// Interval discards iv.
+func (NullSink) Interval(*Interval) {}
+
+// Close does nothing.
+func (NullSink) Close() error { return nil }
+
+// JSONLSink writes one JSON object per event or interval to a writer:
+//
+//	{"type":"event","cycle":...,"kind":"retire",...}
+//	{"type":"interval","index":0,"ipc":...,...}
+//
+// Output is buffered; call Close to flush.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL builds a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+type jsonlEvent struct {
+	Type string `json:"type"`
+	*Event
+}
+
+type jsonlInterval struct {
+	Type string `json:"type"`
+	*Interval
+}
+
+// Event encodes e as one line.
+func (s *JSONLSink) Event(e *Event) {
+	if s.err == nil {
+		s.err = s.enc.Encode(jsonlEvent{"event", e})
+	}
+}
+
+// Interval encodes iv as one line.
+func (s *JSONLSink) Interval(iv *Interval) {
+	if s.err == nil {
+		s.err = s.enc.Encode(jsonlInterval{"interval", iv})
+	}
+}
+
+// Close flushes the buffer and returns the first error encountered.
+func (s *JSONLSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// RingSink keeps the last N events in memory (a flight recorder) and every
+// interval sample. Intended for tests, post-mortem debugging, and interval
+// collection by the public API.
+type RingSink struct {
+	cap       int
+	events    []Event
+	next      int // eviction cursor, valid once len(events) == cap
+	intervals []Interval
+}
+
+// NewRing builds a ring sink retaining the last cap events (cap <= 0 keeps
+// no events, only intervals).
+func NewRing(cap int) *RingSink {
+	return &RingSink{cap: cap}
+}
+
+// Event copies e into the ring, evicting the oldest entry when full.
+func (s *RingSink) Event(e *Event) {
+	if s.cap <= 0 {
+		return
+	}
+	if len(s.events) < s.cap {
+		s.events = append(s.events, *e)
+		return
+	}
+	s.events[s.next] = *e
+	s.next++
+	if s.next == s.cap {
+		s.next = 0
+	}
+}
+
+// Interval copies iv (deep, including Metrics).
+func (s *RingSink) Interval(iv *Interval) {
+	cp := *iv
+	cp.Metrics = append([]Metric(nil), iv.Metrics...)
+	s.intervals = append(s.intervals, cp)
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	if len(s.events) < s.cap || s.next == 0 {
+		return append([]Event(nil), s.events...)
+	}
+	out := make([]Event, 0, len(s.events))
+	out = append(out, s.events[s.next:]...)
+	out = append(out, s.events[:s.next]...)
+	return out
+}
+
+// Intervals returns every collected interval sample.
+func (s *RingSink) Intervals() []Interval { return s.intervals }
+
+// Close does nothing.
+func (s *RingSink) Close() error { return nil }
+
+// TextSink renders events as the human-readable one-line-per-event form
+// used by the tracing example (the successor of the old printf trace):
+//
+//	[   60201] retire seq=181447 pc=0x41a8 beq r4, r0, +3 NT
+//	[   60207] early-flush at seq=181466 redirect=0x41b4 (rob=122 rs=31 fq=2)
+//
+// Intervals render as a compact summary line. Output is buffered; call
+// Close to flush.
+type TextSink struct {
+	w *bufio.Writer
+}
+
+// NewText builds a text sink over w.
+func NewText(w io.Writer) *TextSink {
+	return &TextSink{w: bufio.NewWriter(w)}
+}
+
+// Event renders e as one line.
+func (s *TextSink) Event(e *Event) {
+	fmt.Fprintf(s.w, "[%8d] ", e.Cycle)
+	switch e.Kind {
+	case EvRetire:
+		switch {
+		case e.Branch:
+			out := "NT"
+			if e.Taken {
+				out = fmt.Sprintf("T->%#x", e.Target)
+			}
+			mark := ""
+			if e.Mispredict {
+				mark = " MISPRED"
+				if e.EarlyFlushed {
+					mark = " MISPRED(early-flushed)"
+				}
+			}
+			fmt.Fprintf(s.w, "retire seq=%d pc=%#x %s %s%s", e.Seq, e.PC, e.Disasm, out, mark)
+		case e.Mem:
+			fmt.Fprintf(s.w, "retire seq=%d pc=%#x %s addr=%#x", e.Seq, e.PC, e.Disasm, e.Addr)
+		default:
+			fmt.Fprintf(s.w, "retire seq=%d pc=%#x %s", e.Seq, e.PC, e.Disasm)
+		}
+	default:
+		fmt.Fprintf(s.w, "%s at seq=%d redirect=%#x (rob=%d rs=%d fq=%d)",
+			e.Kind, e.Seq, e.Redirect, e.ROB, e.RS, e.FQ)
+	}
+	s.w.WriteByte('\n')
+}
+
+// Interval renders iv as one summary line.
+func (s *TextSink) Interval(iv *Interval) {
+	fmt.Fprintf(s.w, "[%8d] interval %d: retired=%d ipc=%.3f mpki=%.2f flushes=%d early=%d cov=%.0f%% acc=%.1f%% bc=%.0f%% fill=%d\n",
+		iv.Cycle, iv.Index, iv.Retired, iv.IPC, iv.MPKI, iv.Flushes, iv.EarlyFlushes,
+		100*iv.Coverage, 100*iv.Accuracy, 100*iv.BlockCacheHitRate, iv.FillBufOccupancy)
+}
+
+// Close flushes the buffer.
+func (s *TextSink) Close() error { return s.w.Flush() }
+
+// MultiSink fans every event and interval out to several sinks.
+type MultiSink []Sink
+
+// Multi combines sinks into one (nil entries are dropped).
+func Multi(sinks ...Sink) Sink {
+	var ms MultiSink
+	for _, s := range sinks {
+		if s != nil {
+			ms = append(ms, s)
+		}
+	}
+	if len(ms) == 1 {
+		return ms[0]
+	}
+	return ms
+}
+
+// Event forwards e to every sink.
+func (m MultiSink) Event(e *Event) {
+	for _, s := range m {
+		s.Event(e)
+	}
+}
+
+// Interval forwards iv to every sink.
+func (m MultiSink) Interval(iv *Interval) {
+	for _, s := range m {
+		s.Interval(iv)
+	}
+}
+
+// Close closes every sink, returning the first error.
+func (m MultiSink) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

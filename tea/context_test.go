@@ -1,0 +1,151 @@
+package tea_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"teasim/tea"
+)
+
+func TestRunContextCancelledReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := tea.RunContext(ctx, "mcf", tea.Config{Mode: tea.ModeTEA, MaxInstructions: 5_000_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Cycles != 0 {
+		t.Fatalf("cancelled run produced a result: %+v", res)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("cancelled run took %v, want immediate return", el)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// A budget far beyond what 50ms of simulation reaches.
+	_, err := tea.RunContext(ctx, "mcf", tea.Config{Mode: tea.ModeTEA, MaxInstructions: 200_000_000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	cfg := tea.Config{Mode: tea.ModeTEA, MaxInstructions: 60_000}
+	a, err := tea.Run("bfs", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tea.RunContext(context.Background(), "bfs", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Run and RunContext disagree:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestTelemetryDeterminism: sampling intervals must not perturb the
+// simulation — every core metric stays bit-identical.
+func TestTelemetryDeterminism(t *testing.T) {
+	cfg := tea.Config{Mode: tea.ModeTEA, MaxInstructions: 100_000}
+	plain, err := tea.Run("bfs", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Intervals = true
+	cfg.IntervalPeriod = 5_000
+	traced, err := tea.Run("bfs", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Intervals) == 0 {
+		t.Fatal("no intervals sampled")
+	}
+	traced.Intervals = nil
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatalf("telemetry changed the simulation:\nplain:  %+v\ntraced: %+v", plain, traced)
+	}
+}
+
+func TestRunIntervalsPopulated(t *testing.T) {
+	res, err := tea.Run("bfs", tea.Config{Mode: tea.ModeTEA, Scale: 1, MaxInstructions: 100_000,
+		Intervals: true, IntervalPeriod: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) < 5 {
+		t.Fatalf("got %d intervals for a 100k-instruction run at period 10k", len(res.Intervals))
+	}
+	var lastRetired uint64
+	for i, iv := range res.Intervals {
+		if iv.Index != i {
+			t.Fatalf("interval %d has index %d", i, iv.Index)
+		}
+		if iv.Retired <= lastRetired {
+			t.Fatalf("interval %d retired count not increasing: %d after %d", i, iv.Retired, lastRetired)
+		}
+		lastRetired = iv.Retired
+		if iv.IPC <= 0 {
+			t.Fatalf("interval %d IPC = %v", i, iv.IPC)
+		}
+		if len(iv.Metrics) == 0 {
+			t.Fatalf("interval %d has no registry metrics", i)
+		}
+		if _, ok := iv.Metrics["tea.fillbuf_occupancy"]; !ok {
+			t.Fatalf("interval %d missing TEA metrics: %v", i, iv.Metrics)
+		}
+	}
+}
+
+func TestDefaultExpOptions(t *testing.T) {
+	o := tea.DefaultExpOptions()
+	if o.MaxInstructions != 1_000_000 || o.Scale != 1 || len(o.Workloads) != 17 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+	eng := tea.NewEngine(2)
+	o = tea.DefaultExpOptions(
+		tea.WithInstructions(5_000),
+		tea.WithScale(0),
+		tea.WithWorkloads("bfs", "xz"),
+		tea.WithWorkers(3),
+		tea.WithEngine(eng),
+		tea.WithIntervals(2_000),
+	)
+	if o.MaxInstructions != 5_000 || o.Scale != 0 || o.Workers != 3 || o.Engine != eng {
+		t.Fatalf("options not applied: %+v", o)
+	}
+	if !reflect.DeepEqual(o.Workloads, []string{"bfs", "xz"}) {
+		t.Fatalf("workloads = %v", o.Workloads)
+	}
+	if !o.Intervals || o.IntervalPeriod != 2_000 {
+		t.Fatalf("intervals option not applied: %+v", o)
+	}
+}
+
+// TestOptionsConstructorMatchesLiteral: the two ways of building options
+// must drive experiments identically.
+func TestOptionsConstructorMatchesLiteral(t *testing.T) {
+	eng := tea.NewEngine(2)
+	lit := tea.ExpOptions{MaxInstructions: 30_000, Scale: 1,
+		Workloads: []string{"bfs"}, Engine: eng}
+	ctor := tea.DefaultExpOptions(tea.WithInstructions(30_000),
+		tea.WithWorkloads("bfs"), tea.WithEngine(eng))
+	a, err := tea.Fig6(lit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tea.Fig6(ctor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("literal and constructor options disagree:\n%+v\n%+v", a, b)
+	}
+}

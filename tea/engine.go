@@ -1,12 +1,14 @@
 package tea
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Job is one (workload, configuration) cell of an experiment matrix.
@@ -34,6 +36,59 @@ type Engine struct {
 
 	mu   sync.Mutex
 	memo map[memoKey]*memoEntry
+
+	pmu      sync.Mutex // serializes progress callbacks
+	progress func(JobEvent)
+}
+
+// JobPhase tags a progress notification.
+type JobPhase int
+
+// Job phases.
+const (
+	// JobStarted fires when a worker claims the job.
+	JobStarted JobPhase = iota
+	// JobDone fires when the job finishes (Err reports its outcome).
+	JobDone
+)
+
+// String returns the phase name.
+func (p JobPhase) String() string {
+	switch p {
+	case JobStarted:
+		return "started"
+	case JobDone:
+		return "done"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// JobEvent is one progress notification from a Map run.
+type JobEvent struct {
+	Index int           // job index in the Map slice
+	Job   Job           // the cell being simulated
+	Phase JobPhase      // started or done
+	Err   error         // outcome, JobDone only
+	Wall  time.Duration // wall time, JobDone only (near-zero for memo hits)
+}
+
+// SetProgress installs a callback invoked at the start and end of every job
+// a Map or MapContext call runs. Callbacks are serialized — they may safely
+// write to a terminal or mutate shared state — and run on worker
+// goroutines, so they should return quickly. Pass nil to remove.
+func (e *Engine) SetProgress(fn func(JobEvent)) {
+	e.pmu.Lock()
+	e.progress = fn
+	e.pmu.Unlock()
+}
+
+// notify delivers a progress event, serialized under pmu.
+func (e *Engine) notify(ev JobEvent) {
+	e.pmu.Lock()
+	if e.progress != nil {
+		e.progress(ev)
+	}
+	e.pmu.Unlock()
 }
 
 // memoKey identifies a canonical baseline simulation.
@@ -112,6 +167,13 @@ func (e *Engine) runJob(j Job) (Result, error) {
 // independent of worker scheduling) and remaining jobs are cancelled
 // best-effort.
 func (e *Engine) Map(jobs []Job) ([]Result, error) {
+	return e.MapContext(context.Background(), jobs)
+}
+
+// MapContext is Map with cooperative cancellation: once ctx is done,
+// workers stop claiming jobs (in-flight jobs finish) and the context's
+// error is returned, taking precedence over any job failure.
+func (e *Engine) MapContext(ctx context.Context, jobs []Job) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
 
@@ -121,7 +183,10 @@ func (e *Engine) Map(jobs []Job) ([]Result, error) {
 	}
 	if workers <= 1 {
 		for i, j := range jobs {
-			if err := e.runJobInto(j, &results[i], &errs[i]); err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := e.runJobInto(i, j, &results[i], &errs[i]); err != nil {
 				return nil, fmt.Errorf("tea: job %d (%s/%s): %w", i, j.Workload, j.Cfg.Mode, err)
 			}
 		}
@@ -136,11 +201,14 @@ func (e *Engine) Map(jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1) - 1)
 				if i >= len(jobs) || int64(i) > failed.Load() {
 					return
 				}
-				if err := e.runJobInto(jobs[i], &results[i], &errs[i]); err != nil {
+				if err := e.runJobInto(i, jobs[i], &results[i], &errs[i]); err != nil {
 					// Record the failure index; later jobs are skipped but
 					// earlier in-flight ones finish, keeping error selection
 					// deterministic.
@@ -156,6 +224,9 @@ func (e *Engine) Map(jobs []Job) ([]Result, error) {
 	}
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("tea: job %d (%s/%s): %w", i, jobs[i].Workload, jobs[i].Cfg.Mode, err)
@@ -164,13 +235,17 @@ func (e *Engine) Map(jobs []Job) ([]Result, error) {
 	return results, nil
 }
 
-// runJobInto runs one job with panic capture, storing the outcome in place.
-func (e *Engine) runJobInto(j Job, res *Result, errp *error) (err error) {
+// runJobInto runs one job with panic capture and progress notification,
+// storing the outcome in place.
+func (e *Engine) runJobInto(i int, j Job, res *Result, errp *error) (err error) {
+	e.notify(JobEvent{Index: i, Job: j, Phase: JobStarted})
+	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 			*errp = err
 		}
+		e.notify(JobEvent{Index: i, Job: j, Phase: JobDone, Err: *errp, Wall: time.Since(start)})
 	}()
 	*res, err = e.runJob(j)
 	*errp = err

@@ -1,0 +1,155 @@
+package tea
+
+// Internal engine tests for context cancellation and progress callbacks;
+// like engine_test.go they stub the runFn seam to avoid real simulation.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubEngine returns an engine whose runFn counts invocations and calls
+// hook (if non-nil) on each.
+func stubEngine(workers int, calls *atomic.Int64, hook func(int64)) *Engine {
+	e := NewEngine(workers)
+	e.runFn = func(w string, c Config) (Result, error) {
+		n := calls.Add(1)
+		if hook != nil {
+			hook(n)
+		}
+		return Result{Workload: w, Mode: c.Mode, Cycles: 100}, nil
+	}
+	return e
+}
+
+func teaJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Workload: "w", Cfg: Config{Mode: ModeTEA, MaxInstructions: uint64(i + 1)}}
+	}
+	return jobs
+}
+
+func TestMapContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	for _, workers := range []int{1, 4} {
+		e := stubEngine(workers, &calls, nil)
+		res, err := e.MapContext(ctx, teaJobs(8))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: got results from a cancelled map", workers)
+		}
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("cancelled map still ran %d jobs", calls.Load())
+	}
+}
+
+func TestMapContextStopsClaimingOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		// Cancel from inside the second job: no job after the in-flight ones
+		// may be claimed.
+		e := stubEngine(workers, &calls, func(n int64) {
+			if n == 2 {
+				cancel()
+			}
+		})
+		_, err := e.MapContext(ctx, teaJobs(50))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight jobs finish, so at most workers extra beyond the trigger.
+		if got := calls.Load(); got > int64(2+workers) {
+			t.Fatalf("workers=%d: %d jobs ran after cancellation", workers, got)
+		}
+		cancel()
+	}
+}
+
+func TestMapContextErrorStillDeterministic(t *testing.T) {
+	e := NewEngine(4)
+	e.runFn = func(w string, c Config) (Result, error) {
+		if c.MaxInstructions == 3 {
+			return Result{}, errors.New("boom")
+		}
+		return Result{Workload: w}, nil
+	}
+	_, err := e.MapContext(context.Background(), teaJobs(10))
+	if err == nil || !strings.Contains(err.Error(), "job 2") {
+		t.Fatalf("err = %v, want the deterministic lowest-index failure (job 2)", err)
+	}
+}
+
+func TestEngineProgressEvents(t *testing.T) {
+	var calls atomic.Int64
+	e := stubEngine(1, &calls, nil)
+	var events []JobEvent
+	e.SetProgress(func(ev JobEvent) { events = append(events, ev) })
+	jobs := teaJobs(3)
+	if _, err := e.Map(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2*len(jobs) {
+		t.Fatalf("got %d progress events, want %d", len(events), 2*len(jobs))
+	}
+	started := map[int]bool{}
+	for _, ev := range events {
+		switch ev.Phase {
+		case JobStarted:
+			started[ev.Index] = true
+			if ev.Err != nil || ev.Wall != 0 {
+				t.Fatalf("started event carries outcome fields: %+v", ev)
+			}
+		case JobDone:
+			if !started[ev.Index] {
+				t.Fatalf("job %d done before started", ev.Index)
+			}
+			if ev.Err != nil {
+				t.Fatalf("job %d failed: %v", ev.Index, ev.Err)
+			}
+			if ev.Wall < 0 || ev.Wall > time.Minute {
+				t.Fatalf("job %d wall time %v", ev.Index, ev.Wall)
+			}
+		default:
+			t.Fatalf("unknown phase %v", ev.Phase)
+		}
+		if ev.Job.Workload != "w" {
+			t.Fatalf("event lost its job: %+v", ev)
+		}
+	}
+	if len(started) != len(jobs) {
+		t.Fatalf("only %d of %d jobs reported", len(started), len(jobs))
+	}
+	// Removing the callback stops notifications.
+	e.SetProgress(nil)
+	before := len(events)
+	if _, err := e.Map(teaJobs(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != before {
+		t.Fatal("events delivered after SetProgress(nil)")
+	}
+}
+
+func TestProgressSerializedUnderParallelMap(t *testing.T) {
+	var calls atomic.Int64
+	e := stubEngine(4, &calls, nil)
+	var count int // intentionally unsynchronized: callbacks promise serialization
+	e.SetProgress(func(JobEvent) { count++ })
+	if _, err := e.Map(teaJobs(32)); err != nil {
+		t.Fatal(err)
+	}
+	if count != 64 {
+		t.Fatalf("count = %d, want 64", count)
+	}
+}

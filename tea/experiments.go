@@ -1,49 +1,6 @@
 package tea
 
-import (
-	"fmt"
-	"io"
-	"math"
-	"sort"
-	"text/tabwriter"
-)
-
-// ExpOptions scopes an experiment reproduction run.
-type ExpOptions struct {
-	// MaxInstructions per workload per configuration (default 1M).
-	MaxInstructions uint64
-	// Scale selects workload input sizes (default 1 = paper-like).
-	Scale int
-	// Workloads restricts the suite (default: all 16).
-	Workloads []string
-	// Workers bounds the experiment engine's worker pool (0 = DefaultWorkers;
-	// ignored when Engine is set).
-	Workers int
-	// Engine, when non-nil, dispatches this experiment's cells. Sharing one
-	// engine across experiments shares its baseline memoization, so repeated
-	// (workload, budget, scale) baselines simulate once.
-	Engine *Engine
-}
-
-func (o ExpOptions) fill() ExpOptions {
-	if o.MaxInstructions == 0 {
-		o.MaxInstructions = 1_000_000
-	}
-	if o.Scale == 0 {
-		o.Scale = 1
-	}
-	if len(o.Workloads) == 0 {
-		o.Workloads = Workloads()
-	}
-	if o.Engine == nil {
-		o.Engine = NewEngine(o.Workers)
-	}
-	return o
-}
-
-func (o ExpOptions) cfg(mode Mode) Config {
-	return Config{Mode: mode, MaxInstructions: o.MaxInstructions, Scale: o.Scale}
-}
+import "math"
 
 // Geomean returns the geometric mean of xs (1.0 for empty input).
 func Geomean(xs []float64) float64 {
@@ -75,7 +32,7 @@ func runSpeedups(o ExpOptions, mode Mode, modeCfg func(Config) Config) ([]Speedu
 		if modeCfg != nil {
 			cfg = modeCfg(cfg)
 		}
-		jobs = append(jobs, Job{name, o.cfg(ModeBaseline)}, Job{name, cfg})
+		jobs = append(jobs, o.job(name, o.cfg(ModeBaseline)), o.job(name, cfg))
 	}
 	res, err := o.Engine.Map(jobs)
 	if err != nil {
@@ -99,7 +56,7 @@ func runSpeedups(o ExpOptions, mode Mode, modeCfg func(Config) Config) ([]Speedu
 func runAll(o ExpOptions, cfg Config) ([]Result, error) {
 	jobs := make([]Job, 0, len(o.Workloads))
 	for _, name := range o.Workloads {
-		jobs = append(jobs, Job{name, cfg})
+		jobs = append(jobs, o.job(name, cfg))
 	}
 	return o.Engine.Map(jobs)
 }
@@ -217,7 +174,7 @@ func Fig10(o ExpOptions) ([]Fig10Row, error) {
 	jobs := make([]Job, 0, len(fcs)*len(o.Workloads))
 	for _, fc := range fcs {
 		for _, name := range o.Workloads {
-			jobs = append(jobs, Job{name, fc.Cfg(o.cfg(fc.Mode))})
+			jobs = append(jobs, o.job(name, fc.Cfg(o.cfg(fc.Mode))))
 		}
 	}
 	res, err := o.Engine.Map(jobs)
@@ -254,126 +211,6 @@ func PrefetchOnly(o ExpOptions) ([]SpeedupRow, error) {
 		c.DisableEarlyFlush = true
 		return c
 	})
-}
-
-// --- report rendering ---
-
-// PrintSpeedups renders speedup rows with a geomean footer.
-func PrintSpeedups(w io.Writer, title string, rows []SpeedupRow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "%s\n", title)
-	fmt.Fprintf(tw, "workload\tbase cyc\twith cyc\tspeedup\tcoverage\taccuracy\n")
-	var sp []float64
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%+.1f%%\t%.0f%%\t%.1f%%\n",
-			r.Workload, r.Base.Cycles, r.With.Cycles, 100*(r.Speedup-1),
-			100*r.With.Coverage, 100*r.With.Accuracy)
-		sp = append(sp, r.Speedup)
-	}
-	fmt.Fprintf(tw, "geomean\t\t\t%+.1f%%\t\t\n", 100*(Geomean(sp)-1))
-	tw.Flush()
-}
-
-// PrintFig8 renders the TEA-vs-Branch-Runahead comparison with the paper's
-// simple/complex control-flow grouping.
-func PrintFig8(w io.Writer, rows []Fig8Row) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "Fig 8: TEA vs Branch Runahead\n")
-	fmt.Fprintf(tw, "workload\tflow\tTEA\tRunahead\n")
-	grouped := append([]Fig8Row(nil), rows...)
-	sort.SliceStable(grouped, func(i, j int) bool {
-		return grouped[i].SimpleFlow && !grouped[j].SimpleFlow
-	})
-	var teaAll, brAll, teaS, brS, teaC, brC []float64
-	for _, r := range grouped {
-		flow := "complex"
-		if r.SimpleFlow {
-			flow = "simple"
-		}
-		fmt.Fprintf(tw, "%s\t%s\t%+.1f%%\t%+.1f%%\n", r.Workload, flow,
-			100*(r.TEA-1), 100*(r.Runahead-1))
-		teaAll = append(teaAll, r.TEA)
-		brAll = append(brAll, r.Runahead)
-		if r.SimpleFlow {
-			teaS, brS = append(teaS, r.TEA), append(brS, r.Runahead)
-		} else {
-			teaC, brC = append(teaC, r.TEA), append(brC, r.Runahead)
-		}
-	}
-	fmt.Fprintf(tw, "geomean simple\t\t%+.1f%%\t%+.1f%%\n", 100*(Geomean(teaS)-1), 100*(Geomean(brS)-1))
-	fmt.Fprintf(tw, "geomean complex\t\t%+.1f%%\t%+.1f%%\n", 100*(Geomean(teaC)-1), 100*(Geomean(brC)-1))
-	fmt.Fprintf(tw, "geomean all\t\t%+.1f%%\t%+.1f%%\n", 100*(Geomean(teaAll)-1), 100*(Geomean(brAll)-1))
-	tw.Flush()
-}
-
-// PrintFig6 renders the MPKI table.
-func PrintFig6(w io.Writer, rows []Result) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "Fig 6: branch MPKI (baseline)\n")
-	fmt.Fprintf(tw, "workload\tMPKI\tcond misp\ttarget misp\tIPC\n")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%.1f\t%d\t%d\t%.2f\n", r.Workload, r.MPKI,
-			r.CondMispredicts, r.IndMispredicts, r.IPC)
-	}
-	tw.Flush()
-}
-
-// PrintFig7 renders the misprediction-coverage breakdown.
-func PrintFig7(w io.Writer, rows []Result) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "Fig 7: misprediction breakdown under TEA\n")
-	fmt.Fprintf(tw, "workload\tcovered\tlate\tincorrect\tuncovered\tcoverage\taccuracy\n")
-	var cov, acc []float64
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.0f%%\t%.1f%%\n", r.Workload,
-			r.Covered, r.Late, r.Incorrect, r.Uncovered, 100*r.Coverage, 100*r.Accuracy)
-		cov = append(cov, r.Coverage)
-		acc = append(acc, r.Accuracy)
-	}
-	fmt.Fprintf(tw, "mean\t\t\t\t\t%.0f%%\t%.1f%%\n", 100*mean(cov), 100*mean(acc))
-	tw.Flush()
-}
-
-// PrintFig10 renders the ablation grid.
-func PrintFig10(w io.Writer, rows []Fig10Row) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "Fig 10: thread-construction ablations\n")
-	fmt.Fprintf(tw, "config\tworkload\taccuracy\tcoverage\tsaved/branch\n")
-	agg := map[string][]Fig10Row{}
-	var order []string
-	for _, r := range rows {
-		if _, seen := agg[r.Config]; !seen {
-			order = append(order, r.Config)
-		}
-		agg[r.Config] = append(agg[r.Config], r)
-		fmt.Fprintf(tw, "%s\t%s\t%.1f%%\t%.0f%%\t%.1f\n", r.Config, r.Workload,
-			100*r.Accuracy, 100*r.Coverage, r.Saved)
-	}
-	for _, cfg := range order {
-		var acc, cov, saved []float64
-		for _, r := range agg[cfg] {
-			acc = append(acc, r.Accuracy)
-			cov = append(cov, r.Coverage)
-			saved = append(saved, r.Saved)
-		}
-		fmt.Fprintf(tw, "mean %s\t\t%.1f%%\t%.0f%%\t%.1f\n", cfg,
-			100*mean(acc), 100*mean(cov), mean(saved))
-	}
-	tw.Flush()
-}
-
-// PrintTable3 renders the dynamic-footprint table.
-func PrintTable3(w io.Writer, rows []Result) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "Table III: extra dynamic uops fetched by the TEA thread\n")
-	fmt.Fprintf(tw, "workload\toverhead\n")
-	var ov []float64
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t+%.1f%%\n", r.Workload, r.UopOverheadPct)
-		ov = append(ov, r.UopOverheadPct)
-	}
-	fmt.Fprintf(tw, "mean\t+%.1f%%\n", mean(ov))
-	tw.Flush()
 }
 
 func mean(xs []float64) float64 {

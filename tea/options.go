@@ -1,0 +1,130 @@
+package tea
+
+import "io"
+
+// ExpOptions scopes an experiment reproduction run. The zero value selects
+// every default, so experiments accept a struct literal setting only what
+// matters; DefaultExpOptions with functional options is the equivalent
+// constructor form.
+type ExpOptions struct {
+	// MaxInstructions per workload per configuration (default 1M).
+	MaxInstructions uint64
+	// Scale selects workload input sizes (default 1 = paper-like).
+	Scale int
+	// Workloads restricts the suite (default: all).
+	Workloads []string
+	// Workers bounds the experiment engine's worker pool (0 = DefaultWorkers;
+	// ignored when Engine is set).
+	Workers int
+	// Engine, when non-nil, dispatches this experiment's cells. Sharing one
+	// engine across experiments shares its baseline memoization, so repeated
+	// (workload, budget, scale) baselines simulate once.
+	Engine *Engine
+
+	// Intervals samples a per-interval time series into every cell's
+	// Result.Intervals (see Config.Intervals). Cells carrying telemetry are
+	// never memoized, so interval-bearing experiments re-simulate their
+	// baselines.
+	Intervals bool
+	// IntervalPeriod is the sample period in retired instructions
+	// (0 = every 10k).
+	IntervalPeriod uint64
+	// TraceOut, when non-nil, supplies a JSONL trace destination for each
+	// cell (nil return = no trace for that cell). Cells run concurrently, so
+	// the factory must hand every cell its own writer.
+	TraceOut func(workload string, mode Mode) io.Writer
+}
+
+// ExpOption mutates ExpOptions in DefaultExpOptions.
+type ExpOption func(*ExpOptions)
+
+// DefaultExpOptions returns the experiment defaults — 1M instructions per
+// cell, paper-like input scale, the full suite — with opts applied on top:
+//
+//	rows, err := tea.Fig5(tea.DefaultExpOptions(tea.WithWorkloads("bfs", "xz")))
+func DefaultExpOptions(opts ...ExpOption) ExpOptions {
+	o := ExpOptions{
+		MaxInstructions: 1_000_000,
+		Scale:           1,
+		Workloads:       Workloads(),
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithInstructions sets the per-cell instruction budget.
+func WithInstructions(n uint64) ExpOption {
+	return func(o *ExpOptions) { o.MaxInstructions = n }
+}
+
+// WithScale sets the workload input scale.
+func WithScale(s int) ExpOption {
+	return func(o *ExpOptions) { o.Scale = s }
+}
+
+// WithWorkloads restricts the suite to the named workloads.
+func WithWorkloads(names ...string) ExpOption {
+	return func(o *ExpOptions) { o.Workloads = names }
+}
+
+// WithWorkers bounds the worker pool (ignored with WithEngine).
+func WithWorkers(n int) ExpOption {
+	return func(o *ExpOptions) { o.Workers = n }
+}
+
+// WithEngine dispatches the experiment on an existing engine, sharing its
+// baseline memoization.
+func WithEngine(e *Engine) ExpOption {
+	return func(o *ExpOptions) { o.Engine = e }
+}
+
+// WithIntervals samples a time series into every cell's Result.Intervals
+// (period 0 = every 10k retired instructions).
+func WithIntervals(period uint64) ExpOption {
+	return func(o *ExpOptions) { o.Intervals = true; o.IntervalPeriod = period }
+}
+
+// WithTraceOut streams each cell's JSONL trace to the writer the factory
+// returns for it.
+func WithTraceOut(fn func(workload string, mode Mode) io.Writer) ExpOption {
+	return func(o *ExpOptions) { o.TraceOut = fn }
+}
+
+// fill resolves defaults for the struct-literal path (DefaultExpOptions
+// resolves everything but the engine up front; a literal may leave any
+// field zero).
+func (o ExpOptions) fill() ExpOptions {
+	if o.MaxInstructions == 0 {
+		o.MaxInstructions = 1_000_000
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = Workloads()
+	}
+	if o.Engine == nil {
+		o.Engine = NewEngine(o.Workers)
+	}
+	return o
+}
+
+// cfg builds one cell's simulation config.
+func (o ExpOptions) cfg(mode Mode) Config {
+	c := Config{Mode: mode, MaxInstructions: o.MaxInstructions, Scale: o.Scale}
+	if o.Intervals {
+		c.Intervals = true
+		c.IntervalPeriod = o.IntervalPeriod
+	}
+	return c
+}
+
+// job builds one engine job, attaching the cell's trace destination.
+func (o ExpOptions) job(name string, cfg Config) Job {
+	if o.TraceOut != nil {
+		cfg.TraceTo = o.TraceOut(name, cfg.Mode)
+	}
+	return Job{name, cfg}
+}

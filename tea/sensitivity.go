@@ -1,10 +1,6 @@
 package tea
 
-import (
-	"fmt"
-	"io"
-	"text/tabwriter"
-)
+import "fmt"
 
 // SensRow is one point of a structure-size sensitivity sweep.
 type SensRow struct {
@@ -56,7 +52,7 @@ func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) 
 	stride := 1 + len(values) // baseline + one job per value, per workload
 	jobs := make([]Job, 0, stride*len(opts.Workloads))
 	for _, name := range opts.Workloads {
-		jobs = append(jobs, Job{name, opts.cfg(ModeBaseline)})
+		jobs = append(jobs, opts.job(name, opts.cfg(ModeBaseline)))
 		for _, v := range values {
 			cfg := opts.cfg(ModeTEA)
 			switch p {
@@ -73,7 +69,7 @@ func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) 
 			default:
 				return nil, fmt.Errorf("tea: unknown sensitivity parameter %q", p)
 			}
-			jobs = append(jobs, Job{name, cfg})
+			jobs = append(jobs, opts.job(name, cfg))
 		}
 	}
 	res, err := opts.Engine.Map(jobs)
@@ -95,25 +91,4 @@ func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) 
 		}
 	}
 	return rows, nil
-}
-
-// PrintSensitivity renders a sensitivity sweep with per-value geomeans.
-func PrintSensitivity(w io.Writer, p SensParam, rows []SensRow) {
-	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "Sensitivity: %s\n", p)
-	fmt.Fprintf(tw, "workload\tvalue\tspeedup\tcoverage\taccuracy\n")
-	byValue := map[int][]float64{}
-	var order []int
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%d\t%+.1f%%\t%.0f%%\t%.1f%%\n",
-			r.Workload, r.Value, 100*(r.Speedup-1), 100*r.Coverage, 100*r.Accuracy)
-		if _, seen := byValue[r.Value]; !seen {
-			order = append(order, r.Value)
-		}
-		byValue[r.Value] = append(byValue[r.Value], r.Speedup)
-	}
-	for _, v := range order {
-		fmt.Fprintf(tw, "geomean @%d\t\t%+.1f%%\t\t\n", v, 100*(Geomean(byValue[v])-1))
-	}
-	tw.Flush()
 }

@@ -16,11 +16,16 @@
 package tea
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 
 	"teasim/internal/core"
 	"teasim/internal/pipeline"
 	"teasim/internal/runahead"
+	"teasim/internal/telemetry"
 	"teasim/internal/workloads"
 )
 
@@ -70,6 +75,36 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
+// MarshalJSON renders the mode as its report name.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", m.String())), nil
+}
+
+// UnmarshalJSON parses a report name back into a mode.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	mode, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = mode
+	return nil
+}
+
+// ParseMode parses a mode report name (the Mode.String form).
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{ModeBaseline, ModeTEA, ModeTEADedicated,
+		ModeBranchRunahead, ModeTEABigEngine, ModeWide16} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("tea: unknown mode %q", s)
+}
+
 // Config controls one simulation run.
 type Config struct {
 	Mode Mode
@@ -98,37 +133,87 @@ type Config struct {
 	H2PDecayPeriod    uint64 // instructions between H2P decrements (default 50k)
 	MaxLeadBlocks     int    // shadow fetch queue depth (default 2)
 	FetchQueueSize    int    // main fetch queue entries (default 128)
+
+	// Observability (see DESIGN.md "Telemetry"). These fields are purely
+	// observational: a run with telemetry attached retires the same
+	// instructions in the same cycles as one without. Runs with any of them
+	// set are never memoized by an Engine.
+	//
+	// Intervals samples a per-interval time series (IPC, MPKI, flush rate,
+	// TEA coverage/accuracy, Block Cache hit rate, Fill Buffer occupancy)
+	// into Result.Intervals every IntervalPeriod retired instructions
+	// (0 = every 10k). TraceTo, when non-nil, streams JSONL trace events —
+	// retirements and flushes inside the [TraceStart, TraceEnd] cycle
+	// window (TraceEnd 0 = unbounded) — plus the interval samples.
+	Intervals      bool
+	IntervalPeriod uint64
+	TraceTo        io.Writer
+	TraceStart     uint64
+	TraceEnd       uint64
 }
 
-// Result reports one run's performance and precomputation metrics.
+// Result reports one run's performance and precomputation metrics. It
+// marshals to JSON with snake_case keys (and the Mode as its report name),
+// so results can be piped straight into plotting scripts.
 type Result struct {
-	Workload string
-	Mode     Mode
+	Workload string `json:"workload"`
+	Mode     Mode   `json:"mode"`
 
-	Cycles       uint64
-	Instructions uint64
-	IPC          float64
+	Cycles       uint64  `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	IPC          float64 `json:"ipc"`
 
 	// Branch behaviour (Fig. 6): mispredictions counted against the
 	// original branch-predictor decision.
-	MPKI            float64
-	CondMispredicts uint64
-	IndMispredicts  uint64
+	MPKI            float64 `json:"mpki"`
+	CondMispredicts uint64  `json:"cond_mispredicts"`
+	IndMispredicts  uint64  `json:"ind_mispredicts"`
 
 	// Precomputation quality (Figs. 7 and 10). Coverage buckets partition
 	// the retired mispredictions.
-	Accuracy       float64 // correct precomputations / precomputations
-	Coverage       float64 // covered / all retired mispredictions
-	Covered        uint64
-	Late           uint64
-	Incorrect      uint64
-	Uncovered      uint64
-	AvgCyclesSaved float64 // per covered misprediction (Fig. 10c)
-	EarlyFlushes   uint64
+	Accuracy       float64 `json:"accuracy"` // correct precomputations / precomputations
+	Coverage       float64 `json:"coverage"` // covered / all retired mispredictions
+	Covered        uint64  `json:"covered"`
+	Late           uint64  `json:"late"`
+	Incorrect      uint64  `json:"incorrect"`
+	Uncovered      uint64  `json:"uncovered"`
+	AvgCyclesSaved float64 `json:"avg_cycles_saved"` // per covered misprediction (Fig. 10c)
+	EarlyFlushes   uint64  `json:"early_flushes"`
 
 	// Footprint (Table III): extra dynamic uops fetched for precomputation,
 	// as a percentage of main-thread fetched uops.
-	UopOverheadPct float64
+	UopOverheadPct float64 `json:"uop_overhead_pct"`
+
+	// Intervals holds the per-interval time series when Config.Intervals
+	// was set (nil otherwise).
+	Intervals []IntervalSample `json:"intervals,omitempty"`
+}
+
+// IntervalSample is one point of a run's time series, sampled every
+// Config.IntervalPeriod retired instructions. Rate fields are computed over
+// the interval (deltas), not cumulatively, so plotting them directly shows
+// the per-phase behavior that end-of-run aggregates hide.
+type IntervalSample struct {
+	Index   int    `json:"index"`
+	Cycle   uint64 `json:"cycle"`   // cycle count at the sample point
+	Retired uint64 `json:"retired"` // cumulative retired instructions
+
+	Cycles       uint64  `json:"cycles"`       // cycles in this interval
+	Instructions uint64  `json:"instructions"` // instructions in this interval
+	IPC          float64 `json:"ipc"`
+	MPKI         float64 `json:"mpki"`
+	Flushes      uint64  `json:"flushes"`
+	EarlyFlushes uint64  `json:"early_flushes"`
+
+	// Companion (TEA / Branch Runahead) metrics; zero without one.
+	Coverage          float64 `json:"coverage"`
+	Accuracy          float64 `json:"accuracy"`
+	BlockCacheHitRate float64 `json:"block_cache_hit_rate"`
+	FillBufOccupancy  int     `json:"fill_buf_occupancy"`
+
+	// Metrics carries every registered internal metric at the sample point
+	// (cumulative values; see DESIGN.md for the name catalogue).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Workloads returns the names of the 16-benchmark suite in report order.
@@ -149,6 +234,24 @@ func SimpleFlow(name string) bool {
 
 // Run simulates one workload under the given configuration.
 func Run(workload string, cfg Config) (Result, error) {
+	return RunContext(context.Background(), workload, cfg)
+}
+
+// runQuantum is the cycle distance between cancellation checks in
+// RunContext: small enough that cancellation lands within a few hundred
+// microseconds of wall time, large enough to keep the check out of the
+// per-cycle loop's profile.
+const runQuantum = 50_000
+
+// RunContext is Run with cooperative cancellation: the simulation checks
+// ctx every runQuantum simulated cycles and returns ctx.Err() promptly once
+// the context is done. A cancelled context returns before any simulation
+// work. Results from cancelled runs are zero; cancellation is not an error
+// of the simulation itself.
+func RunContext(ctx context.Context, workload string, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	w, ok := workloads.ByName(workload)
 	if !ok {
 		return Result{}, fmt.Errorf("tea: unknown workload %q (see tea.Workloads)", workload)
@@ -175,6 +278,32 @@ func Run(workload string, cfg Config) (Result, error) {
 	if cfg.FetchQueueSize > 0 {
 		pcfg.FetchQueueSize = cfg.FetchQueueSize
 	}
+
+	// Telemetry: an interval-collecting ring and/or a JSONL event stream.
+	var ring *telemetry.RingSink
+	if cfg.Intervals || cfg.TraceTo != nil {
+		var sinks []telemetry.Sink
+		if cfg.Intervals {
+			ring = telemetry.NewRing(0) // intervals only, no event retention
+			sinks = append(sinks, ring)
+		}
+		if cfg.TraceTo != nil {
+			sinks = append(sinks, telemetry.NewJSONL(cfg.TraceTo))
+		}
+		tcfg := telemetry.Config{
+			Sink:           telemetry.Multi(sinks...),
+			IntervalPeriod: cfg.IntervalPeriod,
+			TraceStart:     cfg.TraceStart,
+			TraceEnd:       cfg.TraceEnd,
+		}
+		if cfg.TraceTo == nil {
+			// Intervals without a trace stream: push the trace window past
+			// any reachable cycle so no per-retire events are built.
+			tcfg.TraceStart = math.MaxUint64
+		}
+		pcfg.Telemetry = telemetry.NewCollector(tcfg)
+	}
+
 	c := pipeline.New(pcfg, prog)
 
 	var teaThread *core.TEA
@@ -209,8 +338,22 @@ func Run(workload string, cfg Config) (Result, error) {
 		br = runahead.New(runahead.DefaultConfig(), c)
 	}
 
-	if err := c.Run(); err != nil {
-		return Result{}, fmt.Errorf("tea: %s/%s: %w", workload, cfg.Mode, err)
+	var runErr error
+	if ctx.Done() == nil {
+		runErr = c.Run()
+	} else {
+		runErr = c.RunChecked(runQuantum, func() error { return ctx.Err() })
+	}
+	if pcfg.Telemetry != nil {
+		if cerr := pcfg.Telemetry.Close(); cerr != nil && runErr == nil {
+			runErr = fmt.Errorf("telemetry sink: %w", cerr)
+		}
+	}
+	if runErr != nil {
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+		return Result{}, fmt.Errorf("tea: %s/%s: %w", workload, cfg.Mode, runErr)
 	}
 
 	res := Result{
@@ -252,17 +395,50 @@ func Run(workload string, cfg Config) (Result, error) {
 			res.UopOverheadPct = 100 * float64(s.EngineUops) / float64(c.Stats.FetchedUops)
 		}
 	}
+	if ring != nil {
+		ivs := ring.Intervals()
+		res.Intervals = make([]IntervalSample, len(ivs))
+		for i, iv := range ivs {
+			s := IntervalSample{
+				Index:             iv.Index,
+				Cycle:             iv.Cycle,
+				Retired:           iv.Retired,
+				Cycles:            iv.Cycles,
+				Instructions:      iv.Instructions,
+				IPC:               iv.IPC,
+				MPKI:              iv.MPKI,
+				Flushes:           iv.Flushes,
+				EarlyFlushes:      iv.EarlyFlushes,
+				Coverage:          iv.Coverage,
+				Accuracy:          iv.Accuracy,
+				BlockCacheHitRate: iv.BlockCacheHitRate,
+				FillBufOccupancy:  iv.FillBufOccupancy,
+			}
+			if len(iv.Metrics) > 0 {
+				s.Metrics = make(map[string]float64, len(iv.Metrics))
+				for _, m := range iv.Metrics {
+					s.Metrics[m.Name] = m.Value
+				}
+			}
+			res.Intervals[i] = s
+		}
+	}
 	return res, nil
 }
 
 // Speedup runs a workload under two configurations and returns cyclesA /
 // cyclesB (so >1 means B is faster).
 func Speedup(workload string, a, b Config) (float64, Result, Result, error) {
-	ra, err := Run(workload, a)
+	return SpeedupContext(context.Background(), workload, a, b)
+}
+
+// SpeedupContext is Speedup with cooperative cancellation (see RunContext).
+func SpeedupContext(ctx context.Context, workload string, a, b Config) (float64, Result, Result, error) {
+	ra, err := RunContext(ctx, workload, a)
 	if err != nil {
 		return 0, Result{}, Result{}, err
 	}
-	rb, err := Run(workload, b)
+	rb, err := RunContext(ctx, workload, b)
 	if err != nil {
 		return 0, Result{}, Result{}, err
 	}

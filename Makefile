@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 tier2 race bench bench-experiments profile-cpu profile-mem clean
+.PHONY: all build test tier1 tier2 race bench bench-smoke bench-experiments profile-cpu profile-mem clean
 
 all: tier1
 
@@ -29,6 +29,15 @@ bench:
 # Figure/table benchmarks at reduced budgets (see bench_test.go).
 bench-experiments:
 	$(GO) test -bench 'Fig10|Fig5' -benchtime=1x -run XXX
+
+# Quick throughput/allocation health check, summarized as JSON (CI runs this;
+# BENCH_PR3.json in the repo root is a committed reference snapshot).
+BENCH_SMOKE_OUT ?= bench-smoke.json
+bench-smoke:
+	$(GO) test -bench 'SimulatorThroughput|Fig8VsRunahead' -benchtime=1x -run XXX . \
+		| tee /dev/stderr \
+		| $(GO) run ./internal/tools/benchjson -o $(BENCH_SMOKE_OUT)
+	@echo "wrote $(BENCH_SMOKE_OUT)"
 
 # Profiling workflow (see README "Profiling and parallelism"): run an
 # experiment under the profiler, then inspect with `go tool pprof`.

@@ -65,6 +65,13 @@ func (m *allocMeter) addSpeedups(rows []tea.SpeedupRow) {
 	}
 }
 
+// addSens accumulates the simulated instructions behind a sensitivity sweep.
+func (m *allocMeter) addSens(rows []tea.SensRow) {
+	for _, r := range rows {
+		m.instrs += r.Instructions
+	}
+}
+
 func (m *allocMeter) report(b *testing.B) {
 	if m.instrs == 0 {
 		return
@@ -155,7 +162,7 @@ func BenchmarkFig7Coverage(b *testing.B) {
 // BenchmarkFig8VsRunahead regenerates Fig. 8: TEA vs Branch Runahead
 // (paper: 10.1% vs 7.3%). Reported metrics: both geomeans.
 func BenchmarkFig8VsRunahead(b *testing.B) {
-	b.ReportAllocs()
+	m := startAllocMeter(b)
 	n := benchBudget(150_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Fig8(opts(n))
@@ -164,6 +171,7 @@ func BenchmarkFig8VsRunahead(b *testing.B) {
 		}
 		var teaSp, brSp []float64
 		for _, r := range rows {
+			m.add(r.Instructions)
 			teaSp = append(teaSp, r.TEA)
 			brSp = append(brSp, r.Runahead)
 		}
@@ -175,6 +183,7 @@ func BenchmarkFig8VsRunahead(b *testing.B) {
 			b.Log("\n" + sb.String())
 		}
 	}
+	m.report(b)
 }
 
 // BenchmarkFig9DedicatedEngine regenerates Fig. 9: TEA on a dedicated
@@ -206,7 +215,7 @@ func BenchmarkFig9DedicatedEngine(b *testing.B) {
 // timeliness across the five thread-construction configurations. Reported
 // metric: full-TEA mean accuracy percentage.
 func BenchmarkFig10Ablations(b *testing.B) {
-	b.ReportAllocs()
+	m := startAllocMeter(b)
 	n := benchBudget(80_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Fig10(opts(n))
@@ -216,6 +225,7 @@ func BenchmarkFig10Ablations(b *testing.B) {
 		var accSum float64
 		var cnt int
 		for _, r := range rows {
+			m.add(r.Instructions)
 			if r.Config == "tea" {
 				accSum += r.Accuracy
 				cnt++
@@ -228,6 +238,7 @@ func BenchmarkFig10Ablations(b *testing.B) {
 			b.Log("\n" + sb.String())
 		}
 	}
+	m.report(b)
 }
 
 // BenchmarkTable3Footprint regenerates Table III: the TEA thread's extra
@@ -276,19 +287,28 @@ func BenchmarkPrefetchOnly(b *testing.B) {
 	m.report(b)
 }
 
-// BenchmarkSimulatorThroughput measures raw simulation speed (instructions
-// per second) on a representative workload — a harness health metric, not a
-// paper figure.
+// BenchmarkSimulatorThroughput measures raw simulation speed on a
+// representative memory-bound workload (mcf, TEA mode) — a harness health
+// metric, not a paper figure. Reported rates: simulated cycles per second
+// (the idle-skip win shows up here: skipped cycles are simulated without
+// being ticked) and simulated instructions per second.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	m := startAllocMeter(b)
 	n := benchBudget(200_000)
+	var cycles, instrs uint64
 	for i := 0; i < b.N; i++ {
 		res, err := tea.Run("mcf", tea.Config{Mode: tea.ModeTEA, MaxInstructions: n, Scale: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Instructions), "instructions")
+		cycles += res.Cycles
+		instrs += res.Instructions
 		m.add(res.Instructions)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cycles)/sec, "sim-cycles/s")
+		b.ReportMetric(float64(instrs)/sec, "sim-instrs/s")
 	}
 	m.report(b)
 }
@@ -298,7 +318,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // empty-block tag store to stretch capacity). Uses the two capacity-bound
 // workloads the paper names.
 func BenchmarkAblationBlockCache(b *testing.B) {
-	b.ReportAllocs()
+	m := startAllocMeter(b)
 	n := benchBudget(120_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Sensitivity(tea.SensBlockCache, []int{128, 512, 2048},
@@ -307,18 +327,20 @@ func BenchmarkAblationBlockCache(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addSens(rows)
 		if i == 0 {
 			var sb strings.Builder
 			tea.PrintSensitivity(&sb, tea.SensBlockCache, rows)
 			b.Log("\n" + sb.String())
 		}
 	}
+	m.report(b)
 }
 
 // BenchmarkAblationFillBuffer sweeps the Fill Buffer size (§IV-C: the paper
 // reports ~1% sensitivity because bit-masks let chains grow across walks).
 func BenchmarkAblationFillBuffer(b *testing.B) {
-	b.ReportAllocs()
+	m := startAllocMeter(b)
 	n := benchBudget(120_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Sensitivity(tea.SensFillBuffer, []int{128, 512, 1024},
@@ -327,18 +349,20 @@ func BenchmarkAblationFillBuffer(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addSens(rows)
 		if i == 0 {
 			var sb strings.Builder
 			tea.PrintSensitivity(&sb, tea.SensFillBuffer, rows)
 			b.Log("\n" + sb.String())
 		}
 	}
+	m.report(b)
 }
 
 // BenchmarkAblationLead sweeps the shadow-fetch-queue depth (DESIGN.md §7:
 // short leads maximize surviving precomputation under frequent flushes).
 func BenchmarkAblationLead(b *testing.B) {
-	b.ReportAllocs()
+	m := startAllocMeter(b)
 	n := benchBudget(120_000)
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Sensitivity(tea.SensLead, []int{1, 2, 8},
@@ -347,12 +371,14 @@ func BenchmarkAblationLead(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		m.addSens(rows)
 		if i == 0 {
 			var sb strings.Builder
 			tea.PrintSensitivity(&sb, tea.SensLead, rows)
 			b.Log("\n" + sb.String())
 		}
 	}
+	m.report(b)
 }
 
 // BenchmarkFig9BigEngine regenerates §V-D's second data point: the TEA

@@ -55,6 +55,10 @@ type TEA struct {
 	draining     bool
 	blockFlushes bool
 	lateCount    int
+	// skipPRStall is set by Quiescent when the active thread's pipe head is
+	// wedged on an empty TEA register pool, so OnSkip knows the skipped
+	// ticks would each have counted a PRStallCycles.
+	skipPRStall bool
 
 	// Shadow rename (§IV-D) and the reference-counted TEA register pool
 	// (§IV-E: valid bit + 5-bit reference counter per PR, no ROB).
@@ -67,8 +71,11 @@ type TEA struct {
 	allocated []bool
 
 	// TEA frontend pipe (fetched chain uops awaiting shadow rename) and
-	// in-flight inserted uops (for squash/drain accounting).
+	// in-flight inserted uops (for squash/drain accounting). frontQ pops by
+	// advancing frontHead instead of re-slicing, so the backing array keeps
+	// its capacity across pop/append churn.
 	frontQ      []*pipeline.Uop
+	frontHead   int
 	inflight    []*pipeline.Uop
 	outstanding int
 	// pendStores tracks in-flight (renamed, not yet executed) TEA stores so
@@ -389,14 +396,20 @@ func (t *TEA) poisonCheck(u *pipeline.Uop) {
 // (nested/out-of-order resolution).
 func (t *TEA) OnFlush(seq uint64, branchRenamed bool) {
 	// Un-renamed fetched uops: drop them all (their rename state is gone).
-	t.frontQ = t.frontQ[:0]
+	// They never reached the shared backend, so this is their last reference.
+	for _, u := range t.frontQ[t.frontHead:] {
+		t.core.RecycleCompanionUop(u)
+	}
+	t.frontQ, t.frontHead = t.frontQ[:0], 0
 
 	// Squash issued TEA uops younger than the branch; their completion
 	// drains through UopExecuted, which releases their registers.
-	// (Never-issued ones were already handled via UopSquashed.)
+	// (Never-issued ones were already handled via UopSquashed.) Released
+	// uops leave the in-flight list here — the last reference anywhere.
 	live := t.inflight[:0]
 	for _, u := range t.inflight {
 		if u.CompDone {
+			t.core.RecycleCompanionUop(u)
 			continue
 		}
 		if u.Seq > seq {
@@ -686,14 +699,13 @@ func (t *TEA) fetchUop(blk *pipeline.FetchBlock, idx int) {
 	if in == nil {
 		return
 	}
-	u := &pipeline.Uop{
-		Seq:        blk.SeqBase + uint64(idx),
-		PC:         pc,
-		In:         in,
-		Cls:        in.Class(),
-		TEA:        true,
-		FetchCycle: t.core.Cycle,
-	}
+	u := t.core.NewCompanionUop()
+	u.Seq = blk.SeqBase + uint64(idx)
+	u.PC = pc
+	u.In = in
+	u.Cls = in.Class()
+	u.TEA = true
+	u.FetchCycle = t.core.Cycle
 	if in.IsBranch() {
 		u.Rec = blk.BranchAt(idx)
 	}
@@ -704,20 +716,20 @@ func (t *TEA) fetchUop(blk *pipeline.FetchBlock, idx int) {
 // renameAndInsert moves rename-ready TEA uops through the shadow RAT into
 // the shared backend, claiming issue slots with priority (§IV-D/E).
 func (t *TEA) renameAndInsert() {
-	for len(t.frontQ) > 0 {
-		u := t.frontQ[0]
+	for t.frontHead < len(t.frontQ) {
+		u := t.frontQ[t.frontHead]
 		if u.FetchCycle+t.Cfg.FrontLatency > t.core.Cycle {
-			return
+			break
 		}
 		if t.core.IssueSlotsLeft() == 0 || t.core.CompanionRSFree() == 0 {
-			return
+			break
 		}
 		hasDest := u.In.HasDest() && u.In.Rd != isa.R0
 		if hasDest && len(t.prFree) == 0 {
 			t.Stats.PRStallCycles++
-			return
+			break
 		}
-		t.frontQ = t.frontQ[1:]
+		t.frontHead++
 
 		if u.In.IsBranch() {
 			// Checkpoint the shadow RAT for partial-frontend-flush recovery.
@@ -750,6 +762,10 @@ func (t *TEA) renameAndInsert() {
 		t.outstanding++
 		t.inflight = append(t.inflight, u)
 		t.Stats.UopsRenamed++
+	}
+	if t.frontHead == len(t.frontQ) {
+		// Drained: rewind so appends reuse the backing array's capacity.
+		t.frontQ, t.frontHead = t.frontQ[:0], 0
 	}
 }
 
@@ -907,7 +923,10 @@ func (t *TEA) terminate(blockFlushes bool) {
 	}
 	t.active = false
 	t.blockFlushes = t.blockFlushes || blockFlushes
-	t.frontQ = t.frontQ[:0]
+	for _, u := range t.frontQ[t.frontHead:] {
+		t.core.RecycleCompanionUop(u) // never inserted: last reference
+	}
+	t.frontQ, t.frontHead = t.frontQ[:0], 0
 	t.curSeg.valid = false
 	// Waiting (un-issued) uops may depend on registers that will never be
 	// written; drop them now so the drain is bounded by execution latency.
@@ -920,6 +939,12 @@ func (t *TEA) terminate(blockFlushes bool) {
 }
 
 func (t *TEA) finishDrain() {
+	// outstanding == 0 means every in-flight uop has been released
+	// (CompDone): the list holds the last references, recycle them.
+	for _, u := range t.inflight {
+		t.core.RecycleCompanionUop(u)
+	}
+	t.inflight = t.inflight[:0]
 	t.draining = false
 	t.blockFlushes = false
 	t.lateCount = 0
@@ -930,3 +955,90 @@ func (t *TEA) finishDrain() {
 
 // Active reports whether the TEA thread is currently fetching.
 func (t *TEA) Active() bool { return t.active }
+
+// Quiescent implements the pipeline's idle-skip contract: it reports
+// whether Tick would mutate nothing but the per-cycle counter OnSkip
+// replays, and the earliest self-scheduled wake (the walk deadline and the
+// frontend-latency deadline; every other transition is driven by
+// retire/flush/completion events that end the idle window on their own).
+//
+// Inactive thread: idle unless a finished walk can commit, a drain can
+// finish, the main thread overtook an armed cursor, or an armed thread is
+// past its backoff with an activation attempt that could mutate state (a
+// Block Cache hit check). The per-cycle bookkeeping is InactiveCycles.
+//
+// Active thread: idle only when both halves of Tick are provably no-ops.
+// The fetch side must be wedged — the shadow cursor at the lead-block
+// limit (freed when main-thread fetch consumes a block: a progress cycle)
+// or caught up with the branch predictor (a new block is a progress
+// cycle). The rename side must see an empty pipe, a head still in the
+// FrontLatency window (a wake), a full companion RS partition (freed by
+// issue or squash, both wake-covered), or an empty TEA PR free list (freed
+// by completion/retire events). The PR-stall case is the one active
+// per-cycle counter: Tick would count PRStallCycles each cycle, so
+// Quiescent flags it for OnSkip to batch-replay. IssueSlotsLeft is
+// deliberately NOT consulted: the core resets the slot budget immediately
+// before comp.Tick, so the companion always sees a full budget.
+func (t *TEA) Quiescent(now uint64) (bool, uint64) {
+	t.skipPRStall = false
+	if t.draining && t.outstanding == 0 {
+		return false, 0 // finishDrain fires on the next tick
+	}
+	if (t.armed || t.active) && t.core.TEACursorInvalid() {
+		return false, 0 // the next tick clears the arm / terminates
+	}
+	var wake uint64
+	if t.walking {
+		if now >= t.walkDoneAt {
+			return false, 0 // commitWalk fires on the next tick
+		}
+		wake = t.walkDoneAt
+	}
+	if !t.active {
+		if t.armed && !t.draining && t.retired >= t.backoffUntil {
+			// tryActivate runs each tick. Its two early-outs are pure
+			// reads whose answers only flip on wake-covered events (a
+			// walk commit publishes BC.Updates; a predict cycle produces
+			// the peeked block); past those it can mutate state.
+			if t.BC.Updates != 0 && t.core.TEANextBlockPeek() != nil {
+				return false, 0
+			}
+		}
+		return true, wake
+	}
+	// Active thread, fetch side: fetchChainUops must hit an early-out.
+	if t.core.TEALeadBlocks() < t.Cfg.MaxLeadBlocks {
+		if blk, _ := t.core.TEACursor(); blk != nil {
+			return false, 0 // a lookup, fetch, or block advance would run
+		}
+	}
+	// Active thread, rename side: the pipe head must be stably blocked.
+	if t.frontHead < len(t.frontQ) {
+		u := t.frontQ[t.frontHead]
+		if at := u.FetchCycle + t.Cfg.FrontLatency; at > now {
+			if wake == 0 || at < wake {
+				wake = at
+			}
+		} else if t.core.CompanionRSFree() == 0 {
+			// RS partition full: freed only by issue/squash (wake-covered).
+		} else if u.In.HasDest() && u.In.Rd != isa.R0 && len(t.prFree) == 0 {
+			t.skipPRStall = true // Tick counts PRStallCycles each cycle
+		} else {
+			return false, 0 // the head would rename
+		}
+	}
+	return true, wake
+}
+
+// OnSkip batch-applies the per-cycle bookkeeping the skipped Ticks would
+// have done: InactiveCycles while the thread is parked, PRStallCycles when
+// an active thread's pipe head is wedged on the TEA register pool.
+func (t *TEA) OnSkip(n uint64) {
+	if t.active {
+		if t.skipPRStall {
+			t.Stats.PRStallCycles += n
+		}
+		return
+	}
+	t.Stats.InactiveCycles += n
+}

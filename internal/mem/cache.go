@@ -78,6 +78,32 @@ func (c *Cache) mshrAvailable(now uint64) bool {
 // noteFill records an outstanding miss completing at readyAt.
 func (c *Cache) noteFill(readyAt uint64) { c.fills = append(c.fills, readyAt) }
 
+// mshrFree reports whether a new miss could be tracked at cycle now: the
+// read-only counterpart of mshrAvailable (same predicate, no pruning).
+func (c *Cache) mshrFree(now uint64) bool {
+	n := 0
+	for _, f := range c.fills {
+		if f > now {
+			n++
+		}
+	}
+	return n < c.mshrCap
+}
+
+// NextFill returns the completion cycle of the earliest fill still
+// outstanding strictly after now, or 0 when none is in flight. Read-only:
+// the MSHR file is pruned lazily by mshrAvailable, not here, so probing
+// for the next event never perturbs cache state.
+func (c *Cache) NextFill(now uint64) uint64 {
+	var next uint64
+	for _, f := range c.fills {
+		if f > now && (next == 0 || f < next) {
+			next = f
+		}
+	}
+	return next
+}
+
 // lookup finds the way holding line, or nil.
 func (c *Cache) lookup(line uint64) *cacheLine {
 	ws := c.set(line)

@@ -98,3 +98,25 @@ func (d *DRAM) Access(start uint64, line uint64, write bool) uint64 {
 	d.Reads++
 	return done + ctrlOverhead
 }
+
+// NextEvent returns the earliest cycle strictly after now at which a bank
+// or data bus becomes free again, or 0 when the whole channel array is
+// already quiet. Requesters never need this — fill completion cycles
+// (Hierarchy.NextEvent) subsume it, since a line's fill readyAt is always
+// at or after the bank/bus release — but it exposes the raw channel
+// horizon for diagnostics and tests.
+func (d *DRAM) NextEvent(now uint64) uint64 {
+	var next uint64
+	closer := func(at uint64) {
+		if at > now && (next == 0 || at < next) {
+			next = at
+		}
+	}
+	for ch := range d.banks {
+		closer(d.busFree[ch])
+		for bank := range d.banks[ch] {
+			closer(d.banks[ch][bank].readyAt)
+		}
+	}
+	return next
+}

@@ -134,9 +134,48 @@ func (h *Hierarchy) writeback(line uint64, now uint64) {
 	h.LLC.touch(v)
 }
 
+// NextEvent returns the earliest cycle strictly after now at which an
+// outstanding fill anywhere in the hierarchy (L1I, L1D, or LLC) completes,
+// or 0 when the memory system is quiet. DRAM timing needs no separate
+// entry: the compute-at-issue model folds DRAM completion into the fill
+// readyAt recorded by noteFill (DRAM.NextEvent exposes the raw channel
+// horizon for diagnostics). The core's idle-cycle skipper uses this as a
+// conservative wake source.
+func (h *Hierarchy) NextEvent(now uint64) uint64 {
+	next := h.L1I.NextFill(now)
+	if d := h.L1D.NextFill(now); d != 0 && (next == 0 || d < next) {
+		next = d
+	}
+	if l := h.LLC.NextFill(now); l != 0 && (next == 0 || l < next) {
+		next = l
+	}
+	return next
+}
+
 // Load performs a data load. ok=false means retry next cycle (MSHRs full).
 func (h *Hierarchy) Load(addr uint64, now uint64) (AccessResult, bool) {
 	return h.access(h.L1D, addr, now, false)
+}
+
+// LoadWouldAccept reports whether a data load of addr issued at cycle now
+// would be accepted (L1D hit, fill merge, or trackable miss) without
+// performing the access — no counter, LRU, MSHR, or DRAM mutation. It
+// replicates access()'s rejection conditions exactly: false means Load
+// would return ok=false for full MSHRs. The answer can only flip to true
+// when an outstanding fill completes (see NextEvent), so the core's idle
+// skipper can sleep a blocked load until then.
+func (h *Hierarchy) LoadWouldAccept(addr uint64, now uint64) bool {
+	line := LineOf(addr)
+	if h.L1D.lookup(line) != nil {
+		return true // hit, or merge with the line's outstanding fill
+	}
+	if !h.L1D.mshrFree(now) {
+		return false
+	}
+	if h.LLC.lookup(line) != nil {
+		return true
+	}
+	return h.LLC.mshrFree(now)
 }
 
 // Fetch performs an instruction fetch for the line containing addr.

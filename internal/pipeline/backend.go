@@ -22,50 +22,30 @@ const completionRing = 16384
 // reservation stations implausibly long (their producer was lost to a flush).
 const companionRSTimeout = 1024
 
-// execute is the select/dispatch stage: it scans the reservation stations
-// for ready uops, binds them to execution ports (TEA-priority, then oldest
-// first), reads operand values, computes results, and schedules writeback.
+// execute is the select/dispatch stage: it binds ready uops to execution
+// ports (TEA-priority, then oldest first), reads operand values, computes
+// results, and schedules writeback. Candidates come from the event-driven
+// readyQ (see sched.go) rather than a full RS scan; selectReady restores
+// insertion order, so port binding matches the scan exactly.
 func (c *Core) execute() {
 	aluFree := c.Cfg.ALUPorts
 	fpFree := c.Cfg.FPPorts
 	memFree := c.Cfg.LDPorts + c.Cfg.LDSTPorts // load-capable slots
 	stFree := c.Cfg.LDSTPorts                  // store-capable slots
 
-	// Compact away issued/squashed entries, then collect candidates with
-	// ready operands. The RS slice is in insertion (≈age) order; scheduling
-	// priority is TEA-first (paper §IV-E), then oldest-first, implemented as
-	// two passes over the candidate list.
-	live := c.rs[:0]
-	cands := c.cands[:0]
-	for _, u := range c.rs {
-		if !u.InRS {
-			continue
-		}
-		// Companion uops can wait on a register whose producer vanished in a
-		// flush (the shadow RAT is only a snapshot); sweep them out instead
-		// of letting them pin RS entries forever.
-		if u.TEA && c.Cycle-u.FetchCycle > companionRSTimeout {
-			u.Squashed = true
-			u.InRS = false
-			c.rsTEACount--
-			c.comp.UopSquashed(u)
-			continue
-		}
-		live = append(live, u)
-		if !c.PRF.Ready[u.Prs1] || !c.PRF.Ready[u.Prs2] {
-			continue
-		}
-		cands = append(cands, u)
-	}
-	c.rs = live
-	c.cands = cands
+	// Companion uops can wait on a register whose producer vanished in a
+	// flush (the shadow RAT is only a snapshot); sweep them out instead of
+	// letting them pin RS entries forever.
+	c.sweepCompanionTimeouts()
+	cands := c.selectReady()
 
 	if c.Cfg.CompanionDedicated {
 		// Dedicated engine: companion uops draw from their own execution
 		// slots (any class); loads still contend for cache ports/MSHRs via
 		// the shared hierarchy state.
 		teaFree := c.Cfg.CompanionPorts
-		for _, u := range cands {
+		for _, r := range cands {
+			u := r.u
 			if !u.TEA || teaFree == 0 {
 				continue
 			}
@@ -78,11 +58,11 @@ func (c *Core) execute() {
 				teaFree = before // did not issue (e.g. load retry)
 			}
 		}
-		for _, u := range cands {
-			if u.TEA {
+		for _, r := range cands {
+			if r.u.TEA {
 				continue
 			}
-			c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
+			c.tryIssue(r.u, &aluFree, &fpFree, &memFree, &stFree)
 		}
 		return
 	}
@@ -91,11 +71,11 @@ func (c *Core) execute() {
 		if c.Cfg.CompanionNoPriority {
 			teaPass = pass == 1
 		}
-		for _, u := range cands {
-			if u.TEA != teaPass {
+		for _, r := range cands {
+			if r.u.TEA != teaPass {
 				continue
 			}
-			c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
+			c.tryIssue(r.u, &aluFree, &fpFree, &memFree, &stFree)
 		}
 	}
 }
@@ -254,6 +234,49 @@ func (c *Core) scheduleDone(u *Uop, at uint64) {
 	}
 	slot := at % completionRing
 	c.completions[slot] = append(c.completions[slot], u)
+	c.completionsPending++
+	c.complPush(at)
+}
+
+// complPush records a scheduled completion cycle in the min-heap mirror of
+// the ring (manual sift-up: container/heap would cost an interface call and
+// an allocation per op on the hottest path in the simulator).
+func (c *Core) complPush(at uint64) {
+	h := append(c.complHeap, at)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	c.complHeap = h
+}
+
+// complPop removes the heap minimum.
+func (c *Core) complPop() {
+	h := c.complHeap
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			m = r
+		}
+		if h[i] <= h[m] {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	c.complHeap = h
 }
 
 // complete is the writeback stage: results become architecturally visible
@@ -266,6 +289,12 @@ func (c *Core) complete() {
 		return
 	}
 	c.completions[slot] = list[:0]
+	c.completionsPending -= len(list)
+	// Everything scheduled at or before this cycle drains now; drop the
+	// heap mirror's stale minimums so its top stays the next writeback.
+	for len(c.complHeap) > 0 && c.complHeap[0] <= c.Cycle {
+		c.complPop()
+	}
 	// Seqs are unique, so this unstable sort is deterministic; unlike
 	// sort.Slice it does not allocate a closure + swapper per call.
 	slices.SortFunc(list, func(a, b *Uop) int {
@@ -286,6 +315,7 @@ func (c *Core) complete() {
 		u.Executed = true
 		if u.HasDest {
 			c.PRF.Write(u.Prd, u.Val)
+			c.wakeWaiters(u.Prd)
 		}
 		if DebugTEA > 0 && u.Seq >= DebugSeqLo && u.Seq <= DebugSeqHi {
 			DebugTEA--

@@ -63,7 +63,35 @@ type Companion interface {
 	// Only invoked when telemetry is attached; must not mutate companion
 	// state that affects simulation.
 	OnInterval(iv *telemetry.Interval)
+
+	// Idle-cycle fast-forward contract (see skip.go and DESIGN.md §9).
+
+	// Quiescent reports whether the companion provably cannot change any
+	// simulation state at cycle now — its Tick would be a pure no-op apart
+	// from per-cycle counters — plus the earliest future cycle at which it
+	// can wake on its own (0 = no self-scheduled wake; external events such
+	// as retires and flushes wake it implicitly because they end the idle
+	// window). A conservative implementation may always return (false, 0),
+	// which merely disables skipping while it is attached.
+	Quiescent(now uint64) (idle bool, wakeAt uint64)
+	// OnSkip tells a quiescent companion that n idle cycles were
+	// fast-forwarded in one jump. It must apply exactly the per-cycle
+	// bookkeeping (counters only) that n quiescent Ticks would have done.
+	OnSkip(n uint64)
 }
+
+// NewCompanionUop hands a companion a recycled (zeroed) Uop to fill in.
+// The pipeline's own recycle sites (retire, flush, the completion ring) all
+// skip companion uops — their owner keeps pointers in its local queues — so
+// the companion must hand each one back via RecycleCompanionUop when it
+// drops its last reference.
+func (c *Core) NewCompanionUop() *Uop { return c.pool.getUop() }
+
+// RecycleCompanionUop returns a companion-owned uop to the shared pool.
+// The caller must have removed it from every structure that could still
+// reach it (its frontend queue, in-flight list, the shared RS / completion
+// ring). Double-recycles are absorbed by the pool's once-only guard.
+func (c *Core) RecycleCompanionUop(u *Uop) { c.pool.putUop(u) }
 
 // nopCompanion is used when no precomputation engine is attached.
 type nopCompanion struct{}
@@ -84,3 +112,5 @@ func (nopCompanion) UopExecuted(*Uop)                     {}
 func (nopCompanion) UopSquashed(*Uop)                     {}
 func (nopCompanion) PrecomputationWrong(uint64)           {}
 func (nopCompanion) OnInterval(*telemetry.Interval)       {}
+func (nopCompanion) Quiescent(uint64) (bool, uint64)      { return true, 0 }
+func (nopCompanion) OnSkip(uint64)                        {}

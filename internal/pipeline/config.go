@@ -65,6 +65,13 @@ type Config struct {
 	// CoSim enables golden-model checking at retirement (tests).
 	CoSim bool
 
+	// NoIdleSkip disables the idle-cycle fast-forward scheduler (skip.go),
+	// ticking every cycle individually. Skipping is cycle-exact — results
+	// and stat counters are bit-identical either way (enforced by the
+	// equivalence test) — so this exists for debugging and for the
+	// equivalence test itself.
+	NoIdleSkip bool
+
 	// Telemetry, when non-nil, receives structured trace events (retire,
 	// flush, early-flush — the successor of the old printf trace) and
 	// per-interval time-series samples through its Sink. See

@@ -48,9 +48,19 @@ type Core struct {
 	PRF *PRF
 	rob queue[*Uop]
 
-	// Backend.
+	// Backend. rs keeps insertion order for flush walks; it is compacted
+	// lazily (see sched.go), so dead entries are tolerated everywhere via
+	// the rsStamps guard. Wakeup/select state: waiters holds per-physical-
+	// register lists of entries blocked on that register, readyQ the entries
+	// whose operands are all ready, teaAge the companion entries in
+	// insertion order for the RS-timeout sweep.
 	rs          []*Uop
-	cands       []*Uop // scratch for the scheduler
+	rsStamps    []uint64 // rsStamps[i] == rs[i].rsStamp while entry i is current
+	rsStampCtr  uint64
+	readyQ      []rsRef
+	waiters     [][]rsRef
+	teaAge      []rsRef
+	teaAgeHead  int
 	rsMainCount int
 	rsTEACount  int
 	mainRSCap   int
@@ -58,6 +68,16 @@ type Core struct {
 	sqCount     int
 	sq          queue[*Uop] // stores in program order, executed ⇒ address known
 	completions [completionRing][]*Uop
+	// completionsPending counts uops currently scheduled in the completions
+	// ring (flushes never remove entries — squashed uops drain through
+	// complete()).
+	completionsPending int
+	// complHeap is a binary min-heap of the scheduled completion cycles of
+	// everything in the ring (duplicates allowed). complete() pops entries as
+	// their cycle drains, so the top is always the earliest outstanding
+	// writeback — the idle-cycle scanner's wake source, replacing a walk over
+	// the 16384 ring slots with an O(1) peek.
+	complHeap []uint64
 
 	pendingRedirects []pendingRedirect
 
@@ -83,6 +103,11 @@ type Core struct {
 	halted bool
 
 	Stats Stats
+
+	// Idle-cycle fast-forward metrics (see skip.go). Deliberately NOT part
+	// of Stats: Stats must stay bit-identical with skipping on and off.
+	IdleSkips         uint64 // fast-forward jumps taken
+	IdleCyclesSkipped uint64 // dead cycles never individually ticked
 }
 
 type pendingRedirect struct {
@@ -109,11 +134,21 @@ func New(cfg Config, prog *isa.Program) *Core {
 		teaPRCount: teaRegs,
 		comp:       nopCompanion{},
 	}
+	c.waiters = make([][]rsRef, cfg.NumPRegs+teaRegs)
 	for _, seg := range prog.Data {
 		c.Mem.WriteBytes(seg.Addr, seg.Bytes)
 	}
 	for i := 0; i < isa.NumRegs; i++ {
 		c.rat[i] = uint16(i)
+	}
+	// Seed every completion-ring slot with a few elements of capacity carved
+	// from a single shared array: an 8-wide machine routinely retires several
+	// writebacks on one cycle, and first-touch growth of 16384 nil slices
+	// otherwise shows up as a steady allocation stream on the issue path.
+	const slotCap = 4
+	ringBacking := make([]*Uop, completionRing*slotCap)
+	for i := range c.completions {
+		c.completions[i] = ringBacking[i*slotCap : i*slotCap : (i+1)*slotCap]
 	}
 	if cfg.CoSim {
 		c.gold = emu.NewWithMem(prog, c.Mem.Clone())
@@ -215,11 +250,26 @@ func (c *Core) Run() error { return c.RunChecked(0, nil) }
 // cycles it calls check, and a non-nil return aborts the run with that
 // error. quantum 0 (or a nil check) disables checking. The quantum bounds
 // cancellation latency without putting a call in the per-cycle loop.
+//
+// Unless Cfg.NoIdleSkip is set, the loop fast-forwards over provably dead
+// cycles (see skip.go): after a tick that leaves the machine idle, it jumps
+// straight to the earliest wake event instead of re-ticking. Jumps are
+// clamped to the next check boundary — a single skip can never overshoot
+// the quantum, so cancellation latency stays bounded — and to MaxCycles, so
+// the wedge detector fires at exactly the cycle a tick-by-tick run would.
 func (c *Core) RunChecked(quantum uint64, check func() error) error {
 	if quantum == 0 || check == nil {
 		quantum, check = 0, nil
 	}
+	skip := !c.Cfg.NoIdleSkip
 	nextCheck := c.Cycle + quantum
+	// Probe backoff: idleWake is pure overhead on busy cycles, and busy
+	// phases are long, so a failed probe skips the next few cycles' probes
+	// (exponential, capped low enough that an idle window is entered at
+	// most a few cycles late). Deterministic, and skipping fewer cycles
+	// never changes results — only how fast they are reached.
+	const probeBackoffCap = 8
+	probeAt, backoff := c.Cycle, uint64(1)
 	for !c.halted {
 		if err := c.Tick(); err != nil {
 			return err
@@ -227,6 +277,40 @@ func (c *Core) RunChecked(quantum uint64, check func() error) error {
 		if c.Cfg.MaxInstructions > 0 && c.Stats.Retired >= c.Cfg.MaxInstructions {
 			break
 		}
+		if c.Cfg.MaxCycles > 0 && c.Cycle >= c.Cfg.MaxCycles {
+			return fmt.Errorf("pipeline: cycle limit %d reached at %d retired (possible wedge)",
+				c.Cfg.MaxCycles, c.Stats.Retired)
+		}
+		if quantum != 0 && c.Cycle >= nextCheck {
+			if err := check(); err != nil {
+				return err
+			}
+			nextCheck = c.Cycle + quantum
+		}
+		if !skip || c.Cycle < probeAt {
+			continue
+		}
+		wake, idle := c.idleWake()
+		if !idle {
+			probeAt = c.Cycle + backoff
+			if backoff < probeBackoffCap {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 1
+		if c.Cfg.MaxCycles > 0 && wake > c.Cfg.MaxCycles {
+			wake = c.Cfg.MaxCycles
+		}
+		if quantum != 0 && wake > nextCheck {
+			wake = nextCheck
+		}
+		if wake <= c.Cycle {
+			continue
+		}
+		c.skipTo(wake)
+		// Re-run the post-tick limit/cancellation logic so a clamped jump
+		// observes exactly the cycle numbers a tick-by-tick run would.
 		if c.Cfg.MaxCycles > 0 && c.Cycle >= c.Cfg.MaxCycles {
 			return fmt.Errorf("pipeline: cycle limit %d reached at %d retired (possible wedge)",
 				c.Cfg.MaxCycles, c.Stats.Retired)

@@ -67,8 +67,9 @@ func (c *Core) flushAfter(seq uint64, redirectPC uint64, rec *BranchRec, actualT
 	// companion uops in flight are squashed by the companion in OnFlush;
 	// issued main-thread uops were marked during the ROB walk-back.
 	rs := c.rs[:0]
-	for _, u := range c.rs {
-		if !u.InRS {
+	stamps := c.rsStamps[:0]
+	for i, u := range c.rs {
+		if u.rsStamp != c.rsStamps[i] || !u.InRS {
 			continue
 		}
 		if u.Seq > seq {
@@ -84,8 +85,9 @@ func (c *Core) flushAfter(seq uint64, redirectPC uint64, rec *BranchRec, actualT
 			continue
 		}
 		rs = append(rs, u)
+		stamps = append(stamps, c.rsStamps[i])
 	}
-	c.rs = rs
+	c.rs, c.rsStamps = rs, stamps
 
 	// Frontend pipe: fetched-but-not-renamed uops younger than seq are the
 	// tail of the (age-ordered) pipe.

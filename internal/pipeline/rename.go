@@ -41,8 +41,8 @@ func (c *Core) rename() {
 		}
 		c.rob.push(u)
 		u.InRS = true
-		c.rs = append(c.rs, u)
 		c.rsMainCount++
+		c.insertRS(u)
 		if u.isLoad() {
 			c.lqCount++
 		}
@@ -68,7 +68,7 @@ func (c *Core) InsertCompanionUop(u *Uop) bool {
 	c.rsTEACount++
 	u.InRS = true
 	u.TEA = true
-	c.rs = append(c.rs, u)
+	c.insertRS(u)
 	return true
 }
 
@@ -81,8 +81,9 @@ func (c *Core) IssueSlotsLeft() int { return c.Cfg.FrontWidth - c.issueSlotsUsed
 // to complete through the normal writeback path.
 func (c *Core) SquashCompanionWaiting() {
 	rs := c.rs[:0]
-	for _, u := range c.rs {
-		if !u.InRS {
+	stamps := c.rsStamps[:0]
+	for i, u := range c.rs {
+		if u.rsStamp != c.rsStamps[i] || !u.InRS {
 			continue
 		}
 		if u.TEA {
@@ -93,8 +94,9 @@ func (c *Core) SquashCompanionWaiting() {
 			continue
 		}
 		rs = append(rs, u)
+		stamps = append(stamps, c.rsStamps[i])
 	}
-	c.rs = rs
+	c.rs, c.rsStamps = rs, stamps
 }
 
 // CompanionRSFree reports remaining companion RS capacity.

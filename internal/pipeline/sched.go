@@ -1,0 +1,166 @@
+package pipeline
+
+// Event-driven wakeup/select scheduling for the reservation stations.
+//
+// The naive scheduler re-scans every RS entry every cycle to find ready
+// candidates — O(RS) work per simulated cycle that dominates the simulator's
+// wall-clock on big windows. Hardware does not do that and neither do we:
+// each RS entry waits on (at most) one not-ready source register at a time,
+// registered in a per-physical-register waiter list. The single place a
+// register becomes ready (PRF.Write in the writeback stage) wakes its
+// waiters; entries whose operands are all ready sit in readyQ, the only
+// thing the select loop walks. Results are bit-identical to the full scan:
+// selection still visits candidates in RS insertion order (restored by an
+// insertion-order stamp), and blocked loads stay in readyQ so their
+// per-cycle retry probes — and the cache counters those probes bump —
+// happen exactly as before.
+//
+// Stale references are unavoidable with pooled uops: a squashed entry's
+// pointer can be recycled into a brand-new RS entry while old lists still
+// hold it. Every reference therefore carries the rsStamp the uop had when
+// the reference was taken; a mismatch (or a cleared InRS) marks it dead.
+
+// rsRef is a possibly-stale reference to an RS entry.
+type rsRef struct {
+	u     *Uop
+	stamp uint64
+}
+
+// live reports whether the reference still denotes the same RS residency.
+func (r rsRef) live() bool { return r.u.rsStamp == r.stamp && r.u.InRS }
+
+// insertRS registers a just-renamed uop with the scheduler. The caller has
+// already set InRS and the occupancy counts.
+func (c *Core) insertRS(u *Uop) {
+	c.rsStampCtr++
+	u.rsStamp = c.rsStampCtr
+	c.rs = append(c.rs, u)
+	c.rsStamps = append(c.rsStamps, u.rsStamp)
+	// The rs list is compacted lazily (flushes do it for free); bound the
+	// dead-entry overhead between flushes.
+	if len(c.rs) > 2*(c.rsMainCount+c.rsTEACount)+64 {
+		c.compactRS()
+	}
+	if u.TEA {
+		c.teaAge = append(c.teaAge, rsRef{u, u.rsStamp})
+	}
+	r := rsRef{u, u.rsStamp}
+	if !c.PRF.Ready[u.Prs1] {
+		c.waiters[u.Prs1] = append(c.waiters[u.Prs1], r)
+	} else if !c.PRF.Ready[u.Prs2] {
+		c.waiters[u.Prs2] = append(c.waiters[u.Prs2], r)
+	} else {
+		c.readyQ = append(c.readyQ, r)
+	}
+}
+
+// wakeWaiters is called when register p transitions to ready: every entry
+// waiting on it either moves on to its other (still unready) source or
+// becomes a select candidate.
+func (c *Core) wakeWaiters(p uint16) {
+	ws := c.waiters[p]
+	if len(ws) == 0 {
+		return
+	}
+	c.waiters[p] = ws[:0]
+	for _, r := range ws {
+		if !r.live() {
+			continue
+		}
+		u := r.u
+		if !c.PRF.Ready[u.Prs1] {
+			c.waiters[u.Prs1] = append(c.waiters[u.Prs1], r)
+		} else if !c.PRF.Ready[u.Prs2] {
+			c.waiters[u.Prs2] = append(c.waiters[u.Prs2], r)
+		} else {
+			c.readyQ = append(c.readyQ, r)
+		}
+	}
+}
+
+// compactRS drops dead entries from the insertion-ordered rs list.
+func (c *Core) compactRS() {
+	rs := c.rs[:0]
+	stamps := c.rsStamps[:0]
+	for i, u := range c.rs {
+		if u.rsStamp != c.rsStamps[i] || !u.InRS {
+			continue
+		}
+		rs = append(rs, u)
+		stamps = append(stamps, c.rsStamps[i])
+	}
+	c.rs, c.rsStamps = rs, stamps
+}
+
+// selectReady compacts readyQ in place and restores RS insertion order,
+// returning the candidate list for this cycle's select. Readiness is
+// re-validated: a source register can be re-allocated (Ready goes false
+// again) while a companion consumer still sits in the RS — its producer was
+// squashed and the PR recycled. Matching the per-cycle full scan exactly,
+// such an entry stalls again until the new producer writes, so it migrates
+// back to that register's waiter list. Wakeups append in writeback order,
+// so the queue is nearly sorted and the insertion sort is effectively
+// linear.
+func (c *Core) selectReady() []rsRef {
+	q := c.readyQ[:0]
+	for _, r := range c.readyQ {
+		if !r.live() {
+			continue
+		}
+		u := r.u
+		if !c.PRF.Ready[u.Prs1] {
+			c.waiters[u.Prs1] = append(c.waiters[u.Prs1], r)
+			continue
+		}
+		if !c.PRF.Ready[u.Prs2] {
+			c.waiters[u.Prs2] = append(c.waiters[u.Prs2], r)
+			continue
+		}
+		q = append(q, r)
+	}
+	for i := 1; i < len(q); i++ {
+		for j := i; j > 0 && q[j].stamp < q[j-1].stamp; j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+		}
+	}
+	c.readyQ = q
+	return q
+}
+
+// sweepCompanionTimeouts ages companion uops out of the RS once they have
+// waited past companionRSTimeout (their producer was lost to a flush).
+// teaAge holds companion entries in insertion order and FetchCycle never
+// decreases along it, so only the oldest live entry can newly expire —
+// exactly the entries the per-cycle full scan used to sweep, in the same
+// order.
+func (c *Core) sweepCompanionTimeouts() {
+	for c.teaAgeHead < len(c.teaAge) {
+		r := c.teaAge[c.teaAgeHead]
+		if r.live() {
+			if c.Cycle-r.u.FetchCycle <= companionRSTimeout {
+				break
+			}
+			u := r.u
+			u.Squashed = true
+			u.InRS = false
+			c.rsTEACount--
+			c.comp.UopSquashed(u)
+		}
+		c.teaAgeHead++
+	}
+	if c.teaAgeHead == len(c.teaAge) {
+		c.teaAge, c.teaAgeHead = c.teaAge[:0], 0
+	}
+}
+
+// companionTimeoutHorizon returns the cycle at which the oldest live
+// companion RS entry will be swept (0 = none in flight) — the idle-cycle
+// scanner's wake source for veto-free windows containing companion uops.
+func (c *Core) companionTimeoutHorizon() uint64 {
+	for i := c.teaAgeHead; i < len(c.teaAge); i++ {
+		if c.teaAge[i].live() {
+			return c.teaAge[i].u.FetchCycle + companionRSTimeout + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,212 @@
+package pipeline
+
+import (
+	"teasim/internal/emu"
+	"teasim/internal/isa"
+)
+
+// Idle-cycle fast-forward (event-driven skipping).
+//
+// Memory-bound phases leave the core ticking dead cycles: the ROB head
+// waits on a DRAM load, the frontend pipe is full, nothing completes.
+// Simulating those cycles one at a time is pure overhead — nothing in the
+// machine can change until a scheduled event arrives. idleWake proves a
+// cycle dead and names the earliest cycle at which anything can change;
+// skipTo jumps there, applying exactly the per-cycle bookkeeping the
+// skipped ticks would have done. The invariant (enforced by the skip
+// on/off equivalence test, documented in DESIGN.md §9): every stat counter
+// and simulation outcome is bit-identical to a tick-by-tick run.
+//
+// The proof obligation for idleWake: if it returns (wake, true), then for
+// every cycle t in [Cycle, wake) a Tick at t mutates nothing except Cycle,
+// Stats.Cycles, and the per-cycle stall counters that skipTo replays.
+// Each stage's guard depends on Cycle only through the enumerated wake
+// sources, and every resource that could unblock a stage (ROB/RS/PRF/LSQ
+// space, fetch-queue room) is freed only by retire/complete/flush events —
+// all of which require a wake source to fire first.
+
+// idleWake reports whether the machine is provably idle at the current
+// cycle and, if so, the earliest future cycle at which any stage (or the
+// companion, or the memory system) can wake. A false result means the next
+// Tick may make progress and must run normally.
+func (c *Core) idleWake() (wake uint64, idle bool) {
+	// Retire: an executed ROB head retires (or at least probes the D-cache
+	// on a store-commit MSHR retry — an access-count mutation either way).
+	if c.rob.len() > 0 && c.rob.front().Executed {
+		return 0, false
+	}
+	// Fetch: an unstalled frontend with pipe room and a queued block pops,
+	// holds for the companion (teaPopWait++), or accesses the I-cache.
+	stalled := c.Cycle < c.fetchStallTil
+	if !stalled && c.Cfg.FrontQCap-c.frontQ.len() > 0 && c.fetchQ.len() > 0 {
+		return 0, false
+	}
+	// Predict: an unstalled stream with fetch-queue room emits a block (or
+	// discovers the end of the code segment, which also mutates state).
+	if !c.streamStalled && c.Cycle >= c.streamResumeAt && c.fetchQ.len() < c.Cfg.FetchQueueSize {
+		return 0, false
+	}
+
+	// closer keeps the earliest strictly-future wake candidate (0 = none).
+	closer := func(at uint64) {
+		if at > c.Cycle && (wake == 0 || at < wake) {
+			wake = at
+		}
+	}
+	if stalled {
+		closer(c.fetchStallTil)
+	}
+	if !c.streamStalled && c.Cycle < c.streamResumeAt {
+		closer(c.streamResumeAt)
+	}
+	// Rename: the in-order pipe head either renames now (progress), waits
+	// out the frontend latency (a wake), or is blocked on a backend
+	// resource only a retire/complete/flush event can free (idle).
+	if c.frontQ.len() > 0 {
+		u := c.frontQ.front()
+		if at := u.FetchCycle + c.Cfg.FetchToRenameLat; at > c.Cycle {
+			closer(at)
+		} else if !c.renameBlocked(u) {
+			return 0, false
+		}
+	}
+	// Decode re-steers fire at their delivery cycle (a due one mutates the
+	// pending list even when the branch was already squashed).
+	for _, pr := range c.pendingRedirects {
+		if pr.atCycle <= c.Cycle {
+			return 0, false
+		}
+		closer(pr.atCycle)
+	}
+	// Execute: a ready RS entry issues — unless it is a load provably
+	// blocked on an older store or on full MSHRs, whose unblocking event (a
+	// completion, a retire, a fill arrival) is already a wake source. Every
+	// ready entry is in readyQ (wakeup is event-driven, see sched.go), so
+	// unready entries need no inspection: they wake only via a writeback,
+	// which the completion heap below already covers. Companion entries
+	// additionally age out on the companionRSTimeout sweep; FetchCycle is
+	// nondecreasing along teaAge, so the oldest live entry bounds them all.
+	for _, r := range c.readyQ {
+		// Re-check readiness (a source PR can be re-allocated under a
+		// waiting companion consumer); an unready entry wakes only via a
+		// writeback, which the completion heap covers.
+		if r.live() && c.PRF.Ready[r.u.Prs1] && c.PRF.Ready[r.u.Prs2] && !c.loadBlocked(r.u) {
+			return 0, false
+		}
+	}
+	if at := c.companionTimeoutHorizon(); at != 0 {
+		if at <= c.Cycle {
+			return 0, false
+		}
+		closer(at)
+	}
+	// Companion: it declares its own quiescence and self-scheduled wake
+	// (TEA Fill Buffer walk completion; Branch Runahead instance latency).
+	compIdle, compWake := c.comp.Quiescent(c.Cycle)
+	if !compIdle {
+		return 0, false
+	}
+	closer(compWake)
+	// Writeback: the earliest scheduled completion, read off the heap
+	// mirror of the ring. A completion due at the current cycle drains on
+	// the next tick (not idle); one in the past would mean the mirror
+	// drifted — treat it as a veto rather than risk skipping over it.
+	if n := len(c.complHeap); n > 0 {
+		if top := c.complHeap[0]; top <= c.Cycle {
+			return 0, false
+		} else {
+			closer(top)
+		}
+	}
+	// Memory system: a fill completing at cycle f can unblock an MSHR-full
+	// load retry as early as cycle f-1 (issueLoad probes with now=Cycle+1),
+	// so wake one cycle before the earliest outstanding fill. This also
+	// defensively covers any other stage that polls the hierarchy.
+	if at := c.Hier.NextEvent(c.Cycle); at != 0 {
+		closer(at - 1)
+	}
+
+	if wake == 0 {
+		return 0, false
+	}
+	return wake, true
+}
+
+// loadBlocked reports whether a ready RS entry would fail to issue — and
+// mutate nothing but diagnostic cache hit/miss counters — if execute ran
+// now. Only main-thread loads can be provably blocked: on an older store
+// without an address (its completion is in the ring), on a partial store
+// overlap (cleared by that store's commit, behind retire-side wakes), or
+// on full MSHRs (cleared by a fill completion, a Hierarchy.NextEvent
+// wake). It replicates issueLoad's disambiguation scan read-only; the
+// answer cannot change before one of those wake events fires. Everything
+// else — any non-load, any companion load — issues or probes the D-cache,
+// so it reports not blocked and the cycle is not idle.
+func (c *Core) loadBlocked(u *Uop) bool {
+	if u.Cls != isa.ClassLoad || u.TEA {
+		return false
+	}
+	addr := emu.EffAddr(u.In, c.PRF.Val[u.Prs1])
+	size := u.In.MemBytes()
+	for i := c.sq.len() - 1; i >= 0; i-- {
+		s := c.sq.at(i)
+		if s.Squashed || s.Seq >= u.Seq {
+			continue
+		}
+		if !s.Executed {
+			return true // older store address unknown
+		}
+		ssz := s.In.MemBytes()
+		if s.Addr+uint64(ssz) <= addr || addr+uint64(size) <= s.Addr {
+			continue // disjoint
+		}
+		if s.Addr <= addr && addr+uint64(size) <= s.Addr+uint64(ssz) {
+			return false // would forward from the containing store
+		}
+		return true // partial overlap: waits for the store to commit
+	}
+	return !c.Hier.LoadWouldAccept(addr, c.Cycle+1)
+}
+
+// renameBlocked replicates rename()'s resource gates for a latency-ready
+// head uop. All of them are freed only by retire/complete/flush events, so
+// a blocked head is idle-compatible.
+func (c *Core) renameBlocked(u *Uop) bool {
+	if c.rob.len() >= c.Cfg.ROBSize || c.rsMainCount >= c.mainRSCap {
+		return true
+	}
+	if u.In.HasDest() && u.In.Rd != isa.R0 && !c.PRF.CanAlloc() {
+		return true
+	}
+	if u.isLoad() && c.lqCount >= c.Cfg.LQSize {
+		return true
+	}
+	if u.isStore() && c.sqCount >= c.Cfg.SQSize {
+		return true
+	}
+	return false
+}
+
+// skipTo fast-forwards the idle machine from the current cycle to target,
+// batch-applying the per-cycle stall accounting that each of the skipped
+// Ticks would have performed (idleWake guarantees they would do nothing
+// else). The conditions mirror retire() and fetch() exactly: a non-empty
+// ROB whose head is unexecuted counts a retire stall; a stalled frontend
+// counts an I-miss stall regardless of queue state; otherwise an empty
+// fetch queue with pipe room counts an empty-fetch-queue cycle.
+func (c *Core) skipTo(target uint64) {
+	n := target - c.Cycle
+	if c.rob.len() > 0 {
+		c.Stats.RetireStallROB += n
+	}
+	if c.Cycle < c.fetchStallTil {
+		c.Stats.FetchStallICM += n
+	} else if c.Cfg.FrontQCap-c.frontQ.len() > 0 && c.fetchQ.len() == 0 {
+		c.Stats.EmptyFetchQ += n
+	}
+	c.comp.OnSkip(n)
+	c.IdleSkips++
+	c.IdleCyclesSkipped += n
+	c.Cycle = target
+	c.Stats.Cycles = target
+}

@@ -1,0 +1,75 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"teasim/internal/pipeline"
+	"teasim/internal/workloads"
+)
+
+func runMCF(t *testing.T, mut func(*pipeline.Config), quantum uint64) *pipeline.Core {
+	t.Helper()
+	w, ok := workloads.ByName("mcf")
+	if !ok {
+		t.Fatal("mcf workload missing")
+	}
+	cfg := pipeline.DefaultConfig()
+	cfg.MaxInstructions = 30_000
+	cfg.MaxCycles = 10_000_000
+	if mut != nil {
+		mut(&cfg)
+	}
+	c := pipeline.New(cfg, w.Build(0))
+	var err error
+	if quantum != 0 {
+		err = c.RunChecked(quantum, func() error { return nil })
+	} else {
+		err = c.Run()
+	}
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c
+}
+
+// TestIdleSkipFastForwards proves the fast-forward actually engages on a
+// memory-bound workload and changes nothing observable: identical Stats and
+// final cycle with a substantial fraction of cycles never individually
+// ticked.
+func TestIdleSkipFastForwards(t *testing.T) {
+	on := runMCF(t, nil, 0)
+	off := runMCF(t, func(cfg *pipeline.Config) { cfg.NoIdleSkip = true }, 0)
+
+	if on.IdleSkips == 0 || on.IdleCyclesSkipped == 0 {
+		t.Fatalf("idle skipping never engaged: skips=%d skipped=%d", on.IdleSkips, on.IdleCyclesSkipped)
+	}
+	if off.IdleSkips != 0 || off.IdleCyclesSkipped != 0 {
+		t.Fatalf("NoIdleSkip run still skipped: skips=%d skipped=%d", off.IdleSkips, off.IdleCyclesSkipped)
+	}
+	if on.Stats != off.Stats {
+		t.Errorf("stats diverge with idle skipping:\n on: %+v\noff: %+v", on.Stats, off.Stats)
+	}
+	if on.Cycle != off.Cycle {
+		t.Errorf("final cycle diverges: on=%d off=%d", on.Cycle, off.Cycle)
+	}
+	t.Logf("skipped %d of %d cycles in %d jumps", on.IdleCyclesSkipped, on.Cycle, on.IdleSkips)
+}
+
+// TestIdleSkipQuantumClamp verifies that fast-forward jumps clamp to the
+// RunChecked cancellation boundary: with a quantum far smaller than typical
+// idle windows, the run must still observe every boundary and produce the
+// same results as an unchecked run.
+func TestIdleSkipQuantumClamp(t *testing.T) {
+	plain := runMCF(t, nil, 0)
+	clamped := runMCF(t, nil, 64)
+
+	if plain.Stats != clamped.Stats {
+		t.Errorf("stats diverge under quantum clamping:\n none: %+v\nq=64: %+v", plain.Stats, clamped.Stats)
+	}
+	if plain.Cycle != clamped.Cycle {
+		t.Errorf("final cycle diverges under quantum clamping: none=%d q=64=%d", plain.Cycle, clamped.Cycle)
+	}
+	if clamped.IdleCyclesSkipped == 0 {
+		t.Error("clamped run never skipped; quantum clamp test is vacuous")
+	}
+}

@@ -28,7 +28,7 @@ type ivSnapshot struct {
 func (c *Core) telemRegister() {
 	reg := c.telem.Registry()
 	reg.GaugeFunc("pipeline.rob_occupancy", func() float64 { return float64(c.rob.len()) })
-	reg.GaugeFunc("pipeline.rs_occupancy", func() float64 { return float64(len(c.rs)) })
+	reg.GaugeFunc("pipeline.rs_occupancy", func() float64 { return float64(c.rsMainCount + c.rsTEACount) })
 	reg.GaugeFunc("pipeline.fetchq_blocks", func() float64 { return float64(c.fetchQ.len()) })
 	reg.GaugeFunc("pipeline.fetched_uops", func() float64 { return float64(c.Stats.FetchedUops) })
 	reg.GaugeFunc("pipeline.executed_uops", func() float64 { return float64(c.Stats.ExecutedUops) })
@@ -77,7 +77,7 @@ func (c *Core) telemFlush(seq, redirect uint64, early bool) {
 		Seq:      seq,
 		Redirect: redirect,
 		ROB:      c.rob.len(),
-		RS:       len(c.rs),
+		RS:       c.rsMainCount + c.rsTEACount,
 		FQ:       c.fetchQ.len(),
 	})
 }

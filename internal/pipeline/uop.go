@@ -21,6 +21,7 @@ type Uop struct {
 	HasDest         bool
 
 	// Pipeline state.
+	rsStamp    uint64 // RS residency stamp; see sched.go
 	InRS       bool
 	Issued     bool
 	Executed   bool

@@ -542,6 +542,27 @@ func (b *BR) launch(ch *chain) {
 	b.Stats.Launches++
 }
 
+// Quiescent implements the pipeline's idle-skip contract: the engine's
+// Tick can change state only when some chain instance is finished or ready
+// to step; otherwise it just rebuilds the instance list in place. New
+// instances launch from OnRetire/OverridePrediction, which end the idle
+// window on their own.
+func (b *BR) Quiescent(now uint64) (bool, uint64) {
+	var wake uint64
+	for _, ins := range b.instances {
+		if ins.done || ins.readyAt <= now {
+			return false, 0
+		}
+		if wake == 0 || ins.readyAt < wake {
+			wake = ins.readyAt
+		}
+	}
+	return true, wake
+}
+
+// OnSkip is a no-op: the engine keeps no per-cycle counters.
+func (b *BR) OnSkip(uint64) {}
+
 // UopExecuted / UopSquashed / LoadValue / StoreExec / BranchResolved are
 // unused: Branch Runahead never inserts uops into the shared backend.
 func (b *BR) UopExecuted(*pipeline.Uop)                  {}

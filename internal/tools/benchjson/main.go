@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` output into a compact JSON
+// summary keyed by benchmark name, capturing ns/op plus every custom metric
+// (allocs/kinstr, sim-cycles/s, ...). It reads the bench output on stdin and
+// writes JSON to the -o file (default stdout):
+//
+//	go test -bench Throughput -benchtime 3x -run XXX . | go run ./internal/tools/benchjson -o BENCH.json
+//
+// Lines that are not benchmark results (logs, table dumps, PASS/ok) are
+// ignored, so the full `go test` stream can be piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's parsed result line.
+type benchResult struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func parseLine(line string) (name string, r benchResult, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", r, false
+	}
+	fields := strings.Fields(line)
+	// Minimum shape: BenchmarkName <iters> <value> <unit> [...]
+	if len(fields) < 4 {
+		return "", r, false
+	}
+	name = fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the -GOMAXPROCS suffix go test appends on parallel machines.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", r, false
+	}
+	r.Iterations = iters
+	r.Metrics = map[string]float64{}
+	// The remainder alternates <value> <unit>.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		default:
+			r.Metrics[unit] = v
+		}
+	}
+	if len(r.Metrics) == 0 {
+		r.Metrics = nil
+	}
+	return name, r, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	results := map[string]benchResult{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if name, r, ok := parseLine(strings.TrimSpace(sc.Text())); ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: marshal:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}

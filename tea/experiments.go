@@ -86,6 +86,10 @@ type Fig8Row struct {
 	SimpleFlow bool
 	TEA        float64
 	Runahead   float64
+	// Instructions counts the simulated instructions behind the row (the
+	// shared baseline plus both modes) for benchmark alloc accounting; it
+	// is not part of the rendered reports.
+	Instructions uint64 `json:"-"`
 }
 
 // Fig8 reproduces Fig. 8: TEA vs Branch Runahead, with the paper's
@@ -109,6 +113,8 @@ func Fig8(o ExpOptions) ([]Fig8Row, error) {
 			SimpleFlow: SimpleFlow(teaRows[i].Workload),
 			TEA:        teaRows[i].Speedup,
 			Runahead:   brRows[i].Speedup,
+			Instructions: teaRows[i].Base.Instructions +
+				teaRows[i].With.Instructions + brRows[i].With.Instructions,
 		})
 	}
 	return rows, nil
@@ -163,6 +169,9 @@ type Fig10Row struct {
 	Accuracy float64
 	Coverage float64
 	Saved    float64
+	// Instructions is the cell's simulated instruction count for benchmark
+	// alloc accounting; not part of the rendered reports.
+	Instructions uint64 `json:"-"`
 }
 
 // Fig10 reproduces Fig. 10 (accuracy, coverage, timeliness ablations). The
@@ -186,11 +195,12 @@ func Fig10(o ExpOptions) ([]Fig10Row, error) {
 		for j, name := range o.Workloads {
 			r := res[i*len(o.Workloads)+j]
 			rows = append(rows, Fig10Row{
-				Workload: name,
-				Config:   fc.Name,
-				Accuracy: r.Accuracy,
-				Coverage: r.Coverage,
-				Saved:    r.AvgCyclesSaved,
+				Workload:     name,
+				Config:       fc.Name,
+				Accuracy:     r.Accuracy,
+				Coverage:     r.Coverage,
+				Saved:        r.AvgCyclesSaved,
+				Instructions: r.Instructions,
 			})
 		}
 	}

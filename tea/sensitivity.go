@@ -9,6 +9,10 @@ type SensRow struct {
 	Speedup  float64 // over the same workload's baseline
 	Coverage float64
 	Accuracy float64
+	// Instructions is the sweep point's simulated instruction count (the
+	// workload's shared baseline is folded into its first row) for
+	// benchmark alloc accounting; not part of the rendered reports.
+	Instructions uint64 `json:"-"`
 }
 
 // SensParam identifies a sweepable TEA/core structure.
@@ -81,12 +85,17 @@ func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) 
 		base := res[i*stride]
 		for j, v := range values {
 			r := res[i*stride+1+j]
+			instrs := r.Instructions
+			if j == 0 {
+				instrs += base.Instructions
+			}
 			rows = append(rows, SensRow{
-				Workload: name,
-				Value:    v,
-				Speedup:  float64(base.Cycles) / float64(r.Cycles),
-				Coverage: r.Coverage,
-				Accuracy: r.Accuracy,
+				Workload:     name,
+				Value:        v,
+				Speedup:      float64(base.Cycles) / float64(r.Cycles),
+				Coverage:     r.Coverage,
+				Accuracy:     r.Accuracy,
+				Instructions: instrs,
 			})
 		}
 	}

@@ -117,6 +117,11 @@ type Config struct {
 	// CoSim verifies every retired instruction against the golden
 	// functional model (slower; on by default in tests).
 	CoSim bool
+	// DisableIdleSkip turns off the pipeline's idle-cycle fast-forward
+	// (pipeline.Config.NoIdleSkip), ticking every cycle individually.
+	// Results are bit-identical either way — skipping is cycle-exact — so
+	// this exists for debugging and the skip equivalence test.
+	DisableIdleSkip bool
 
 	// Fig. 10 ablation switches (TEA modes only).
 	OnlyLoops         bool // loop-confined chains ("only loops")
@@ -260,6 +265,7 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 
 	pcfg := pipeline.DefaultConfig()
 	pcfg.CoSim = cfg.CoSim
+	pcfg.NoIdleSkip = cfg.DisableIdleSkip
 	pcfg.MaxInstructions = cfg.MaxInstructions
 	pcfg.MaxCycles = 400_000_000
 	switch cfg.Mode {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 tier2 race bench bench-smoke bench-experiments profile-cpu profile-mem clean
+.PHONY: all build test tier1 tier2 lint race bench bench-smoke bench-experiments profile-cpu profile-mem clean
 
 all: tier1
 
@@ -13,6 +13,15 @@ test:
 # Tier 1: the must-stay-green gate (fast, run on every change).
 tier1:
 	$(GO) build ./... && $(GO) test ./...
+
+# Lint: formatting (gofmt -l exits 0 even with findings, so fail on output)
+# plus go vet. CI runs this as its own step.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
 
 # Tier 2: static analysis plus the full suite under the race detector.
 # Includes TestEngineDeterminismAcrossWorkers, which drives real simulations

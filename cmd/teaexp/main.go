@@ -10,10 +10,18 @@
 //	teaexp -exp fig5 -json -intervals         # per-interval time series per cell
 //	teaexp -exp fig5 -trace-out /tmp/t -w bfs # JSONL event trace per cell
 //	teaexp -exp fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	teaexp -config machine.json               # custom machine point vs baseline
+//	teaexp -set companion.kind=tea -set companion.tea.fill_buf_size=1024
 //
 // Experiments: fig5 fig6 fig7 fig8 fig9 fig10 table3 prefetchonly tables all,
 // plus sensitivity sweeps: sens-blockcache, sens-fillbuffer, sens-h2pdecay,
 // sens-lead, sens-fetchqueue.
+//
+// -config loads a machine spec JSON file (see tea/spec; the committed preset
+// goldens under tea/spec/testdata/specs are ready-made starting points) and
+// repeatable -set flags patch individual fields. Either flag replaces -exp
+// with a custom experiment: every workload runs on the configured machine
+// and on the baseline, reported as a speedup table.
 //
 // Every (workload, config) cell runs as an independent job on a worker pool
 // (default GOMAXPROCS; override with -workers or TEASIM_WORKERS), and all
@@ -36,9 +44,20 @@ import (
 	"time"
 
 	"teasim/tea"
+	"teasim/tea/spec"
 )
 
 func main() { os.Exit(realMain()) }
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 // realMain runs the experiments and returns the process exit code; keeping
 // it separate from main lets deferred profile writers flush on every path.
@@ -57,7 +76,10 @@ func realMain() int {
 		progress = flag.Bool("progress", false, "stream per-job progress to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		config   = flag.String("config", "", "machine spec JSON file: run it vs the baseline instead of -exp")
+		sets     stringList
 	)
+	flag.Var(&sets, "set", "spec patch section.field=value (repeatable; with -config or alone)")
 	flag.Parse()
 
 	outFmt := tea.FormatText
@@ -134,6 +156,34 @@ func realMain() int {
 		traces = &traceFiles{base: *traceOut, seen: map[string]int{}}
 		defer traces.closeAll()
 		opts.TraceOut = traces.open
+	}
+
+	if *config != "" || len(sets) > 0 {
+		var machine *spec.MachineSpec
+		if *config != "" {
+			s, err := spec.Load(*config)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			machine = &s
+		}
+		start := time.Now()
+		rows, err := tea.Custom(machine, sets, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		title := "Custom machine point vs baseline"
+		if *config != "" {
+			title = fmt.Sprintf("Custom machine point (%s) vs baseline", *config)
+		}
+		if err := tea.WriteSpeedups(os.Stdout, outFmt, title, rows); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "[custom done in %v]\n", time.Since(start).Round(time.Second))
+		return 0
 	}
 
 	ids := []string{*exp}

@@ -8,7 +8,13 @@
 //	teasim -w bfs -mode tea -speedup   # run the baseline too (in parallel)
 //	teasim -w bfs -mode tea -json -intervals            # machine-readable result
 //	teasim -w bfs -mode tea -trace-out trace.jsonl -trace-start 60000 -trace-end 61000
+//	teasim -w bfs -config machine.json                  # custom machine spec
+//	teasim -w bfs -mode tea -set companion.tea.fill_buf_size=1024
 //	teasim -list
+//
+// -config loads a full machine spec (see tea/spec and the preset goldens
+// under tea/spec/testdata/specs); repeatable -set flags patch individual
+// fields of the spec (or of the -mode preset when -config is absent).
 package main
 
 import (
@@ -20,7 +26,30 @@ import (
 	"time"
 
 	"teasim/tea"
+	"teasim/tea/spec"
 )
+
+// parseModeArg resolves -mode: the canonical report names via tea.ParseMode
+// plus the historical CLI aliases.
+func parseModeArg(s string) (tea.Mode, error) {
+	switch strings.ToLower(s) {
+	case "dedicated":
+		return tea.ModeTEADedicated, nil
+	case "br":
+		return tea.ModeBranchRunahead, nil
+	}
+	return tea.ParseMode(strings.ToLower(s))
+}
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
 
 // jsonOutput is the -json envelope: the run's result, plus the baseline and
 // speedup when -speedup is set.
@@ -33,7 +62,8 @@ type jsonOutput struct {
 func main() {
 	var (
 		workload = flag.String("w", "bfs", "workload name (see -list)")
-		mode     = flag.String("mode", "tea", "baseline | tea | tea-dedicated | runahead")
+		mode     = flag.String("mode", "tea", "baseline | tea | tea-dedicated | tea-bigengine | runahead | wide16")
+		config   = flag.String("config", "", "machine spec JSON file (overrides -mode)")
 		n        = flag.Uint64("n", 1_000_000, "max instructions to simulate (0 = to completion)")
 		scale    = flag.Int("scale", 1, "workload input scale (0 = tiny)")
 		cosim    = flag.Bool("cosim", false, "verify against the golden functional model")
@@ -50,7 +80,9 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write a JSONL event trace to this file")
 		trStart  = flag.Uint64("trace-start", 0, "first traced cycle (with -trace-out)")
 		trEnd    = flag.Uint64("trace-end", 0, "last traced cycle, 0 = unbounded (with -trace-out)")
+		sets     stringList
 	)
+	flag.Var(&sets, "set", "spec patch section.field=value (repeatable)")
 	flag.Parse()
 
 	if *list {
@@ -64,23 +96,15 @@ func main() {
 		return
 	}
 
-	var m tea.Mode
-	switch strings.ToLower(*mode) {
-	case "baseline":
-		m = tea.ModeBaseline
-	case "tea":
-		m = tea.ModeTEA
-	case "tea-dedicated", "dedicated":
-		m = tea.ModeTEADedicated
-	case "runahead", "br":
-		m = tea.ModeBranchRunahead
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+	m, err := parseModeArg(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
 	cfg := tea.Config{
 		Mode:              m,
+		Set:               sets,
 		MaxInstructions:   *n,
 		Scale:             *scale,
 		CoSim:             *cosim,
@@ -92,6 +116,20 @@ func main() {
 		IntervalPeriod:    *ivPeriod,
 		TraceStart:        *trStart,
 		TraceEnd:          *trEnd,
+	}
+	if *config != "" {
+		s, err := spec.Load(*config)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Spec = &s
+	}
+	// Resolve up front so a bad -config or -set fails with its own message
+	// instead of surfacing mid-run.
+	if _, err := cfg.ResolvedSpec(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -106,7 +144,7 @@ func main() {
 	// with -speedup the baseline cell runs in parallel on multi-core hosts.
 	eng := tea.NewEngine(*workers)
 	jobs := []tea.Job{{Workload: *workload, Cfg: cfg}}
-	if *speedup && m != tea.ModeBaseline {
+	if *speedup {
 		jobs = append(jobs, tea.Job{Workload: *workload,
 			Cfg: tea.Config{Mode: tea.ModeBaseline, MaxInstructions: *n, Scale: *scale}})
 	}
@@ -142,7 +180,7 @@ func main() {
 	fmt.Printf("IPC           %.3f\n", res.IPC)
 	fmt.Printf("MPKI          %.2f (cond %d, target %d)\n", res.MPKI,
 		res.CondMispredicts, res.IndMispredicts)
-	if m != tea.ModeBaseline {
+	if res.Mode != tea.ModeBaseline {
 		fmt.Printf("accuracy      %.2f%%\n", 100*res.Accuracy)
 		fmt.Printf("coverage      %.1f%% (covered %d, late %d, incorrect %d, uncovered %d)\n",
 			100*res.Coverage, res.Covered, res.Late, res.Incorrect, res.Uncovered)

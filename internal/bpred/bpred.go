@@ -1,6 +1,69 @@
 package bpred
 
-import "teasim/internal/isa"
+import (
+	"fmt"
+
+	"teasim/internal/isa"
+)
+
+// Config sets the predictor-stack geometry (defaults = Table I). Zero
+// fields select their defaults, so the zero value is the Table I predictor.
+type Config struct {
+	// TageTables is the number of tagged TAGE tables (1..12; default 12).
+	// Fewer tables use the first TageTables geometric history lengths.
+	TageTables int
+	// TageHistLens overrides the geometric history lengths (len must equal
+	// TageTables; nil = the default 4..1270 series truncated to TageTables).
+	TageHistLens []uint32
+	// BTBEntries/BTBWays set the branch target buffer geometry (default
+	// 4096 entries, 4-way; the set count must be a power of two).
+	BTBEntries int
+	BTBWays    int
+	// RASEntries sets the return address stack depth (default 64).
+	RASEntries int
+}
+
+// DefaultConfig returns the Table I predictor stack configuration.
+func DefaultConfig() Config {
+	return Config{
+		TageTables:   nTables,
+		TageHistLens: defaultHistLens[:],
+		BTBEntries:   btbEntries,
+		BTBWays:      btbWays,
+		RASEntries:   rasEntries,
+	}
+}
+
+// normalize fills zero fields with their defaults and rejects geometry the
+// implementation cannot index.
+func (c Config) normalize() Config {
+	if c.TageTables == 0 {
+		c.TageTables = nTables
+	}
+	if c.TageTables < 1 || c.TageTables > nTables {
+		panic(fmt.Sprintf("bpred: TageTables %d out of range [1,%d]", c.TageTables, nTables))
+	}
+	if c.TageHistLens == nil {
+		c.TageHistLens = defaultHistLens[:c.TageTables]
+	}
+	if len(c.TageHistLens) != c.TageTables {
+		panic(fmt.Sprintf("bpred: %d history lengths for %d TAGE tables", len(c.TageHistLens), c.TageTables))
+	}
+	if c.BTBEntries == 0 {
+		c.BTBEntries = btbEntries
+	}
+	if c.BTBWays == 0 {
+		c.BTBWays = btbWays
+	}
+	sets := c.BTBEntries / c.BTBWays
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("bpred: BTB set count %d not a power of two (entries %d / ways %d)", sets, c.BTBEntries, c.BTBWays))
+	}
+	if c.RASEntries == 0 {
+		c.RASEntries = rasEntries
+	}
+	return c
+}
 
 // Predictor is the full decoupled prediction stack: TAGE-SC-L conditional
 // predictor, ITTAGE-lite indirect predictor, BTB, and RAS over a shared
@@ -29,16 +92,21 @@ type Predictor struct {
 }
 
 // New constructs the predictor stack with Table I parameters.
-func New() *Predictor {
+func New() *Predictor { return NewWithConfig(Config{}) }
+
+// NewWithConfig constructs the predictor stack with the given geometry
+// (zero fields = Table I defaults).
+func NewWithConfig(cfg Config) *Predictor {
+	cfg = cfg.normalize()
 	h := &History{}
 	return &Predictor{
 		Hist: h,
-		tage: newTAGE(h),
+		tage: newTAGE(h, cfg.TageTables, cfg.TageHistLens),
 		sc:   newSC(h),
 		loop: &loopPred{},
 		it:   newITTAGE(h),
-		BTB:  &BTB{},
-		RAS:  &RAS{},
+		BTB:  newBTB(cfg.BTBEntries, cfg.BTBWays),
+		RAS:  newRAS(cfg.RASEntries),
 	}
 }
 

@@ -48,24 +48,52 @@ type btbEntry struct {
 	lru    uint8
 }
 
-// BTB is the branch target buffer.
+// BTB is the branch target buffer. The zero value lazily adopts the Table I
+// geometry on first use; newBTB builds a custom geometry.
 type BTB struct {
-	sets [btbSets][btbWays]btbEntry
+	entries  []btbEntry // sets × ways, flat
+	ways     int
+	setMask  uint32
+	tagShift uint // bits above the set index
 }
 
-func btbIndex(pc uint64) (uint32, uint32) {
-	set := uint32(pc>>2) & (btbSets - 1)
-	tag := uint32(pc >> 12) // bits above the set index
-	return set, tag
+// newBTB builds a BTB with the given geometry (the set count must be a
+// power of two; Config.normalize enforces this).
+func newBTB(entries, ways int) *BTB {
+	sets := entries / ways
+	shift := uint(2)
+	for s := sets; s > 1; s >>= 1 {
+		shift++
+	}
+	return &BTB{
+		entries:  make([]btbEntry, sets*ways),
+		ways:     ways,
+		setMask:  uint32(sets - 1),
+		tagShift: shift,
+	}
+}
+
+// ensure backfills the default geometry for zero-value BTBs.
+func (b *BTB) ensure() {
+	if b.entries == nil {
+		*b = *newBTB(btbEntries, btbWays)
+	}
+}
+
+// set returns the ways of pc's set and its tag.
+func (b *BTB) set(pc uint64) ([]btbEntry, uint32) {
+	idx := int(uint32(pc>>2) & b.setMask)
+	return b.entries[idx*b.ways : (idx+1)*b.ways], uint32(pc >> b.tagShift)
 }
 
 // Lookup returns the entry for pc, if present.
 func (b *BTB) Lookup(pc uint64) (target uint64, kind BranchKind, isCall, ok bool) {
-	set, tag := btbIndex(pc)
-	for w := 0; w < btbWays; w++ {
-		e := &b.sets[set][w]
+	b.ensure()
+	ws, tag := b.set(pc)
+	for w := range ws {
+		e := &ws[w]
 		if e.valid && e.tag == tag {
-			b.touch(set, uint32(w))
+			b.touch(ws, w)
 			return e.target, e.kind, e.isCall, true
 		}
 	}
@@ -74,13 +102,14 @@ func (b *BTB) Lookup(pc uint64) (target uint64, kind BranchKind, isCall, ok bool
 
 // Insert records (or updates) a branch.
 func (b *BTB) Insert(pc, target uint64, kind BranchKind, isCall bool) {
-	set, tag := btbIndex(pc)
+	b.ensure()
+	ws, tag := b.set(pc)
 	victim, oldest := 0, uint8(0)
-	for w := 0; w < btbWays; w++ {
-		e := &b.sets[set][w]
+	for w := range ws {
+		e := &ws[w]
 		if e.valid && e.tag == tag {
 			e.target, e.kind, e.isCall = target, kind, isCall
-			b.touch(set, uint32(w))
+			b.touch(ws, w)
 			return
 		}
 		if !e.valid {
@@ -90,14 +119,14 @@ func (b *BTB) Insert(pc, target uint64, kind BranchKind, isCall bool) {
 			victim, oldest = w, e.lru
 		}
 	}
-	b.sets[set][victim] = btbEntry{valid: true, tag: tag, target: target, kind: kind, isCall: isCall}
-	b.touch(set, uint32(victim))
+	ws[victim] = btbEntry{valid: true, tag: tag, target: target, kind: kind, isCall: isCall}
+	b.touch(ws, victim)
 }
 
 // touch implements 2-bit pseudo-LRU aging: accessed way goes to 0, others age.
-func (b *BTB) touch(set, way uint32) {
-	for w := uint32(0); w < btbWays; w++ {
-		e := &b.sets[set][w]
+func (b *BTB) touch(ws []btbEntry, way int) {
+	for w := range ws {
+		e := &ws[w]
 		if w == way {
 			e.lru = 0
 		} else if e.lru < 3 {

@@ -6,7 +6,7 @@ package bpred
 // (sc.go) sit on top, forming the TAGE-SC-L-class predictor from Table I.
 
 const (
-	nTables     = 12
+	nTables     = 12 // maximum (and default) tagged-table count
 	baseBits    = 14 // 16K-entry bimodal
 	tableBits   = 10 // 1K entries per tagged table
 	ctrMax      = 3  // 3-bit signed counter in [-4, 3]
@@ -15,8 +15,8 @@ const (
 	uResetEvery = 1 << 18 // graceful usefulness decay period (branches)
 )
 
-// geometric history lengths for the tagged tables.
-var histLens = [nTables]uint32{4, 8, 13, 22, 36, 60, 100, 167, 280, 468, 782, 1270}
+// default geometric history lengths for the tagged tables.
+var defaultHistLens = [nTables]uint32{4, 8, 13, 22, 36, 60, 100, 167, 280, 468, 782, 1270}
 
 // tag widths per table (longer histories get wider tags).
 var tagBits = [nTables]uint32{8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 12, 12}
@@ -69,6 +69,7 @@ type CondCtx struct {
 type tage struct {
 	base   []int8 // bimodal counters, 2-bit in [-2,1]
 	tables [nTables]tageTable
+	n      int // tagged tables in use (tables[:n])
 	hist   *History
 
 	useAltOnNA int8 // prefer altpred for newly allocated entries
@@ -76,16 +77,16 @@ type tage struct {
 	allocSeed  uint32 // deterministic xorshift for allocation choice
 }
 
-func newTAGE(h *History) *tage {
-	t := &tage{base: make([]int8, 1<<baseBits), hist: h, allocSeed: 0x9e3779b9}
-	for i := 0; i < nTables; i++ {
+func newTAGE(h *History, n int, lens []uint32) *tage {
+	t := &tage{base: make([]int8, 1<<baseBits), n: n, hist: h, allocSeed: 0x9e3779b9}
+	for i := 0; i < n; i++ {
 		tb := &t.tables[i]
 		tb.entries = make([]tageEntry, 1<<tableBits)
-		tb.histLen = histLens[i]
+		tb.histLen = lens[i]
 		tb.tagMask = uint16(1<<tagBits[i] - 1)
-		tb.idxFold = h.RegisterFold(histLens[i], tableBits)
-		tb.tagFold = h.RegisterFold(histLens[i], tagBits[i])
-		tb.tagFold2 = h.RegisterFold(histLens[i], tagBits[i]-1)
+		tb.idxFold = h.RegisterFold(lens[i], tableBits)
+		tb.tagFold = h.RegisterFold(lens[i], tagBits[i])
+		tb.tagFold2 = h.RegisterFold(lens[i], tagBits[i]-1)
 	}
 	return t
 }
@@ -127,11 +128,11 @@ func (t *tage) predict(pc uint64, ctx *CondCtx) {
 	ctx.baseIdx = t.baseIndex(pc)
 	basePred := t.base[ctx.baseIdx] >= 0
 
-	for i := 0; i < nTables; i++ {
+	for i := 0; i < t.n; i++ {
 		ctx.idx[i] = t.index(i, pc)
 		ctx.tag[i] = t.tagOf(i, pc)
 	}
-	for i := nTables - 1; i >= 0; i-- {
+	for i := t.n - 1; i >= 0; i-- {
 		e := &t.tables[i].entries[ctx.idx[i]]
 		if e.tag == ctx.tag[i] {
 			if ctx.provider < 0 {
@@ -172,7 +173,7 @@ func (t *tage) predict(pc uint64, ctx *CondCtx) {
 func (t *tage) update(ctx *CondCtx, taken bool) {
 	t.branchTick++
 	if t.branchTick%uResetEvery == 0 {
-		for i := range t.tables {
+		for i := 0; i < t.n; i++ {
 			for j := range t.tables[i].entries {
 				t.tables[i].entries[j].u >>= 1
 			}
@@ -190,7 +191,7 @@ func (t *tage) update(ctx *CondCtx, taken bool) {
 	}
 
 	// Allocate on misprediction in a table with longer history.
-	if !correct && ctx.provider < int8(nTables-1) {
+	if !correct && ctx.provider < int8(t.n-1) {
 		t.allocate(ctx, taken)
 	}
 
@@ -223,11 +224,11 @@ func (t *tage) update(ctx *CondCtx, taken bool) {
 func (t *tage) allocate(ctx *CondCtx, taken bool) {
 	start := int(ctx.provider) + 1
 	// Randomize the first candidate slightly (as in TAGE) to avoid ping-pong.
-	if start < nTables-1 && t.rng()&3 == 0 {
+	if start < t.n-1 && t.rng()&3 == 0 {
 		start++
 	}
 	allocated := 0
-	for i := start; i < nTables && allocated < 2; i++ {
+	for i := start; i < t.n && allocated < 2; i++ {
 		e := &t.tables[i].entries[ctx.idx[i]]
 		if e.u == 0 {
 			e.tag = ctx.tag[i]

@@ -17,7 +17,11 @@
 // sequence numbers — the paper's synchronized timestamps.
 package pipeline
 
-import "teasim/internal/telemetry"
+import (
+	"teasim/internal/bpred"
+	"teasim/internal/mem"
+	"teasim/internal/telemetry"
+)
 
 // Config holds all core parameters (defaults = Table I).
 type Config struct {
@@ -51,6 +55,17 @@ type Config struct {
 	// MispredictExtraLat models the redirect/recovery overhead beyond
 	// pipeline refill (checkpoint copy, predictor repair).
 	MispredictExtraLat uint64
+
+	// BP sets the branch-predictor stack geometry (zero fields = Table I).
+	BP bpred.Config
+	// Mem sets the cache-hierarchy geometry (zero value = Table I).
+	Mem mem.HierarchyConfig
+
+	// CompanionPRegs is the physical-register pool reserved for a companion
+	// thread above NumPRegs (0 = the Table II partition of 192). The pool
+	// exists whether or not a companion attaches, matching the paper's
+	// static partitioning.
+	CompanionPRegs int
 
 	// CompanionDedicated gives the companion its own execution engine
 	// (paper §V-D / Fig. 9): CompanionPorts dedicated execution slots per
@@ -111,5 +126,9 @@ func DefaultConfig() Config {
 		ALULat: 1, MulLat: 3, DivLat: 12, FPLat: 3, FDivLat: 12,
 
 		MispredictExtraLat: 3,
+
+		BP:             bpred.DefaultConfig(),
+		Mem:            mem.DefaultHierarchyConfig(),
+		CompanionPRegs: 192,
 	}
 }

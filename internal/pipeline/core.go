@@ -120,13 +120,19 @@ type pendingRedirect struct {
 // New builds a core for prog with the given configuration. A fresh memory
 // image is initialized from the program's data segments.
 func New(cfg Config, prog *isa.Program) *Core {
-	teaRegs := 192
+	if cfg.Mem == (mem.HierarchyConfig{}) {
+		cfg.Mem = mem.DefaultHierarchyConfig()
+	}
+	teaRegs := cfg.CompanionPRegs
+	if teaRegs == 0 {
+		teaRegs = 192
+	}
 	c := &Core{
 		Cfg:        cfg,
 		Prog:       prog,
 		Mem:        mem.NewImage(),
-		Hier:       mem.NewHierarchy(mem.DefaultHierarchyConfig()),
-		BP:         bpred.New(),
+		Hier:       mem.NewHierarchy(cfg.Mem),
+		BP:         bpred.NewWithConfig(cfg.BP),
 		streamPC:   prog.Entry,
 		PRF:        NewPRF(cfg.NumPRegs, teaRegs),
 		mainRSCap:  cfg.RSSize,

@@ -19,11 +19,13 @@ type Job struct {
 
 // Engine dispatches experiment cells to a bounded worker pool. Results come
 // back in job order regardless of scheduling, so a parallel run is
-// byte-identical to a sequential one. The engine also memoizes canonical
-// baseline runs — keyed by (workload, MaxInstructions, Scale) — so paired
-// experiments (Fig. 8's TEA-vs-Runahead matrix, sensitivity sweeps, or a
-// whole `teaexp -exp all` invocation sharing one engine) simulate each
-// baseline exactly once.
+// byte-identical to a sequential one. The engine also memoizes every
+// memoizable cell (Config.Memoizable) — keyed by the workload, the mode
+// label, the resolved machine spec's fingerprint, and the run budget — so
+// paired experiments (Fig. 8's TEA-vs-Runahead matrix, sensitivity sweeps,
+// or a whole `teaexp -exp all` invocation sharing one engine) simulate each
+// distinct machine point exactly once: shared baselines, and equally the
+// default-valued cell every sensitivity sweep revisits.
 //
 // A zero-value Engine is not usable; construct with NewEngine. Engines are
 // safe for concurrent use and may be shared across experiments to widen the
@@ -36,6 +38,7 @@ type Engine struct {
 
 	mu   sync.Mutex
 	memo map[memoKey]*memoEntry
+	hits int
 
 	pmu      sync.Mutex // serializes progress callbacks
 	progress func(JobEvent)
@@ -91,15 +94,21 @@ func (e *Engine) notify(ev JobEvent) {
 	e.pmu.Unlock()
 }
 
-// memoKey identifies a canonical baseline simulation.
+// memoKey identifies one memoizable simulation: the workload, the machine
+// point (the resolved spec's fingerprint, plus the mode for the Result's
+// label), and the run budget. Two configs that resolve to the same machine
+// — a preset and the equivalent -set patches, or an override field and its
+// patch form — share one key and therefore one simulation.
 type memoKey struct {
 	workload string
+	mode     Mode
+	fp       uint64
 	maxInstr uint64
 	scale    int
 }
 
-// memoEntry latches one baseline result; once ensures a single simulation
-// even when several workers want the same baseline concurrently.
+// memoEntry latches one result; once ensures a single simulation even when
+// several workers want the same cell concurrently.
 type memoEntry struct {
 	once sync.Once
 	res  Result
@@ -133,25 +142,41 @@ func NewEngine(workers int) *Engine {
 // Workers reports the engine's worker-pool bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// canonicalBaseline reports whether cfg is a pure baseline run — baseline
-// mode with only the budget and scale set — and therefore safe to share
-// across experiments. Runs with structure overrides (fetch-queue sweeps) or
-// co-simulation enabled are never memoized.
-func canonicalBaseline(cfg Config) bool {
-	return cfg == Config{Mode: ModeBaseline, MaxInstructions: cfg.MaxInstructions, Scale: cfg.Scale}
+// MemoStats reports the engine's result-cache state: how many distinct
+// machine points it has simulated (or has in flight) and how many jobs were
+// served from an existing entry instead of re-simulating.
+type MemoStats struct {
+	Entries int
+	Hits    int
 }
 
-// runJob executes one cell, consulting the baseline memo cache.
+// MemoStats snapshots the memoization counters.
+func (e *Engine) MemoStats() MemoStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return MemoStats{Entries: len(e.memo), Hits: e.hits}
+}
+
+// runJob executes one cell, consulting the result memo cache. Cells that
+// are not memoizable (Config.Memoizable: telemetry, co-simulation, idle-skip
+// debugging) always simulate, as do cells whose spec fails to resolve — the
+// direct run surfaces the resolution error with full context.
 func (e *Engine) runJob(j Job) (Result, error) {
-	if !canonicalBaseline(j.Cfg) {
+	if !j.Cfg.Memoizable() {
 		return e.runFn(j.Workload, j.Cfg)
 	}
-	key := memoKey{j.Workload, j.Cfg.MaxInstructions, j.Cfg.Scale}
+	fp, err := j.Cfg.SpecFingerprint()
+	if err != nil {
+		return e.runFn(j.Workload, j.Cfg)
+	}
+	key := memoKey{j.Workload, j.Cfg.Mode, fp, j.Cfg.MaxInstructions, j.Cfg.Scale}
 	e.mu.Lock()
 	ent := e.memo[key]
 	if ent == nil {
 		ent = &memoEntry{}
 		e.memo[key] = ent
+	} else {
+		e.hits++
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {

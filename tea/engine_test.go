@@ -85,17 +85,60 @@ func TestFig8BaselineMemoized(t *testing.T) {
 	}
 }
 
-// TestEngineNoMemoForNonCanonicalBaseline asserts baselines carrying
-// structure overrides or co-simulation are never shared.
-func TestEngineNoMemoForNonCanonicalBaseline(t *testing.T) {
+// TestEngineMemoByFingerprint asserts the memo cache keys on the resolved
+// machine spec: configs describing the same machine share one simulation no
+// matter how they spell it (override field, -set patch, or plain preset),
+// while a config describing a different machine re-simulates.
+func TestEngineMemoByFingerprint(t *testing.T) {
 	e, snapshot := countingEngine(2)
-	cfg := Config{Mode: ModeBaseline, MaxInstructions: 1000, Scale: 1, FetchQueueSize: 64}
-	jobs := []Job{{"bfs", cfg}, {"bfs", cfg}}
+	base := Config{Mode: ModeBaseline, MaxInstructions: 1000, Scale: 1}
+	override := base
+	override.FetchQueueSize = 64
+	patched := base
+	patched.Set = []string{"frontend.fetch_queue_size=64"}
+	redundant := base
+	redundant.FetchQueueSize = 128 // the preset value: same machine as base
+	jobs := []Job{
+		{"bfs", base}, {"bfs", base},
+		{"bfs", override}, {"bfs", override}, {"bfs", patched},
+		{"bfs", redundant},
+	}
 	if _, err := e.Map(jobs); err != nil {
 		t.Fatal(err)
 	}
+	// base + redundant share one cell; override (twice) + patched share
+	// another.
 	if n := snapshot()["bfs/baseline/1000"]; n != 2 {
-		t.Fatalf("non-canonical baseline ran %d times, want 2 (no memoization)", n)
+		t.Fatalf("six equivalent-machine jobs ran %d simulations, want 2 (one per distinct fingerprint)", n)
+	}
+}
+
+// TestEngineNoMemoForBehavioralConfigs asserts runs whose configuration
+// changes what the caller observes — co-simulation, telemetry, idle-skip
+// debugging — are never served from the cache.
+func TestEngineNoMemoForBehavioralConfigs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"cosim", func(c *Config) { c.CoSim = true }},
+		{"intervals", func(c *Config) { c.Intervals = true }},
+		{"noidleskip", func(c *Config) { c.DisableIdleSkip = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e, snapshot := countingEngine(2)
+			cfg := Config{Mode: ModeBaseline, MaxInstructions: 1000, Scale: 1}
+			tc.mut(&cfg)
+			if cfg.Memoizable() {
+				t.Fatalf("config with %s reports Memoizable", tc.name)
+			}
+			if _, err := e.Map([]Job{{"bfs", cfg}, {"bfs", cfg}}); err != nil {
+				t.Fatal(err)
+			}
+			if n := snapshot()["bfs/baseline/1000"]; n != 2 {
+				t.Fatalf("%s run simulated %d times for two jobs, want 2 (no memoization)", tc.name, n)
+			}
+		})
 	}
 }
 

@@ -1,6 +1,10 @@
 package tea
 
-import "math"
+import (
+	"math"
+
+	"teasim/tea/spec"
+)
 
 // Geomean returns the geometric mean of xs (1.0 for empty input).
 func Geomean(xs []float64) float64 {
@@ -219,6 +223,22 @@ func PrefetchOnly(o ExpOptions) ([]SpeedupRow, error) {
 	o = o.fill()
 	return runSpeedups(o, ModeTEA, func(c Config) Config {
 		c.DisableEarlyFlush = true
+		return c
+	})
+}
+
+// Custom measures a user-supplied machine point against the baseline, per
+// workload: the spec (nil = the baseline preset) with patches applied on
+// top, resolved and validated once up front so a bad -config or -set fails
+// before any simulation. This is the experiment behind `teaexp -config` /
+// `teaexp -set`.
+func Custom(machine *spec.MachineSpec, patches []string, o ExpOptions) ([]SpeedupRow, error) {
+	resolved, err := (Config{Spec: machine, Set: patches}).ResolvedSpec()
+	if err != nil {
+		return nil, err
+	}
+	return runSpeedups(o.fill(), ModeBaseline, func(c Config) Config {
+		c.Spec = &resolved
 		return c
 	})
 }

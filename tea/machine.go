@@ -1,0 +1,223 @@
+package tea
+
+import (
+	"fmt"
+
+	"teasim/internal/bpred"
+	"teasim/internal/core"
+	"teasim/internal/mem"
+	"teasim/internal/pipeline"
+	"teasim/internal/runahead"
+	"teasim/tea/spec"
+)
+
+// ResolvedSpec resolves the machine point this configuration simulates:
+// Config.Spec (or, when nil, the Mode's preset), with the ablation switches,
+// structure-size overrides, and Set patches applied on top — in that order —
+// then validated. The result is what RunContext builds the simulator from
+// and what SpecFingerprint hashes, so two configs resolving to equal specs
+// simulate identical machines.
+func (c Config) ResolvedSpec() (spec.MachineSpec, error) {
+	var s spec.MachineSpec
+	if c.Spec != nil {
+		s = c.Spec.Clone()
+	} else {
+		var err error
+		if s, err = c.Mode.Preset(); err != nil {
+			return spec.MachineSpec{}, err
+		}
+	}
+
+	// Ablations and TEA structure-size overrides need a TEA section to land
+	// on; silently ignoring them on a TEA-less machine would report the
+	// un-ablated machine's numbers under an ablation's name.
+	t := s.Companion.TEA
+	if t == nil {
+		if c.OnlyLoops || c.NoMasks || c.NoMem || c.DisableEarlyFlush {
+			return spec.MachineSpec{}, fmt.Errorf(
+				"tea: ablation switches require a TEA companion (machine %q has companion %q)",
+				c.machineName(), s.Companion.Kind)
+		}
+		if c.BlockCacheEntries > 0 || c.FillBufferSize > 0 || c.H2PDecayPeriod > 0 || c.MaxLeadBlocks > 0 {
+			return spec.MachineSpec{}, fmt.Errorf(
+				"tea: TEA structure-size overrides require a TEA companion (machine %q has companion %q)",
+				c.machineName(), s.Companion.Kind)
+		}
+	} else {
+		t.OnlyLoops = t.OnlyLoops || c.OnlyLoops
+		t.NoMasks = t.NoMasks || c.NoMasks
+		t.NoMem = t.NoMem || c.NoMem
+		t.DisableEarlyFlush = t.DisableEarlyFlush || c.DisableEarlyFlush
+		if c.BlockCacheEntries > 0 {
+			t.SetBlockCacheEntries(c.BlockCacheEntries)
+		}
+		if c.FillBufferSize > 0 {
+			t.FillBufSize = c.FillBufferSize
+		}
+		if c.H2PDecayPeriod > 0 {
+			t.H2PDecayPeriod = c.H2PDecayPeriod
+		}
+		if c.MaxLeadBlocks > 0 {
+			t.MaxLeadBlocks = c.MaxLeadBlocks
+		}
+	}
+	if c.FetchQueueSize > 0 {
+		s.Frontend.FetchQueueSize = c.FetchQueueSize
+	}
+
+	for _, patch := range c.Set {
+		if err := s.Set(patch); err != nil {
+			return spec.MachineSpec{}, fmt.Errorf("tea: machine %q: %w", c.machineName(), err)
+		}
+	}
+
+	if err := s.Validate(); err != nil {
+		return spec.MachineSpec{}, fmt.Errorf("tea: machine %q: %w", c.machineName(), err)
+	}
+	return s, nil
+}
+
+// SpecFingerprint returns the resolved spec's canonical fingerprint — the
+// machine-identity half of an Engine memoization key and the provenance hash
+// stamped into Result.SpecHash.
+func (c Config) SpecFingerprint() (uint64, error) {
+	s, err := c.ResolvedSpec()
+	if err != nil {
+		return 0, err
+	}
+	return s.Fingerprint(), nil
+}
+
+// machineName names the configured machine point for error messages.
+func (c Config) machineName() string {
+	if c.Spec != nil {
+		return "custom spec"
+	}
+	return c.Mode.String()
+}
+
+// effectiveMode returns the Result.Mode label: the configured Mode, or — for
+// a custom spec — the mode whose scheme the spec's companion matches.
+func effectiveMode(c Config, s *spec.MachineSpec) Mode {
+	if c.Spec == nil {
+		return c.Mode
+	}
+	switch s.Companion.Kind {
+	case spec.CompanionTEA:
+		if s.Companion.Dedicated {
+			return ModeTEADedicated
+		}
+		return ModeTEA
+	case spec.CompanionRunahead:
+		return ModeBranchRunahead
+	default:
+		return ModeBaseline
+	}
+}
+
+// pipelineConfig converts the spec's frontend/backend/memory/predictor and
+// companion-engine shape into the pipeline configuration. Behavioral fields
+// (CoSim, telemetry, budgets) stay with the caller.
+func pipelineConfig(s *spec.MachineSpec) pipeline.Config {
+	cfg := pipeline.Config{
+		FrontWidth:       s.Frontend.Width,
+		RetireWidth:      s.Frontend.RetireWidth,
+		FetchQueueSize:   s.Frontend.FetchQueueSize,
+		FetchToRenameLat: s.Frontend.FetchToRenameLat,
+		MaxBlockInstrs:   s.Frontend.MaxBlockInstrs,
+		FetchLinesPerCyc: s.Frontend.FetchLinesPerCyc,
+		FrontQCap:        s.Frontend.FrontQCap,
+
+		ROBSize:  s.Backend.ROBSize,
+		RSSize:   s.Backend.RSSize,
+		NumPRegs: s.Backend.NumPRegs,
+		LQSize:   s.Backend.LQSize,
+		SQSize:   s.Backend.SQSize,
+
+		ALUPorts:  s.Backend.ALUPorts,
+		LDPorts:   s.Backend.LDPorts,
+		LDSTPorts: s.Backend.LDSTPorts,
+		FPPorts:   s.Backend.FPPorts,
+
+		ALULat: s.Backend.ALULat, MulLat: s.Backend.MulLat,
+		DivLat: s.Backend.DivLat, FPLat: s.Backend.FPLat,
+		FDivLat: s.Backend.FDivLat,
+
+		MispredictExtraLat: s.Backend.MispredictExtraLat,
+
+		BP: bpred.Config{
+			TageTables:   s.Predictor.TageTables,
+			TageHistLens: s.Predictor.TageHistLens,
+			BTBEntries:   s.Predictor.BTBEntries,
+			BTBWays:      s.Predictor.BTBWays,
+			RASEntries:   s.Predictor.RASEntries,
+		},
+		Mem: mem.HierarchyConfig{
+			L1ISize: s.Memory.L1ISize, L1IWays: s.Memory.L1IWays,
+			L1DSize: s.Memory.L1DSize, L1DWays: s.Memory.L1DWays,
+			LLCSize: s.Memory.LLCSize, LLCWays: s.Memory.LLCWays,
+			L1Lat: s.Memory.L1Lat, LLCLat: s.Memory.LLCLat,
+			L1MSHRs: s.Memory.L1MSHRs, LLCMSHRs: s.Memory.LLCMSHRs,
+		},
+
+		CompanionDedicated:  s.Companion.Dedicated,
+		CompanionPorts:      s.Companion.Ports,
+		CompanionNoPriority: s.Companion.NoPriority,
+		CompanionPRegs:      192,
+	}
+	if t := s.Companion.TEA; t != nil {
+		cfg.CompanionPRegs = t.PRPartition
+	}
+	return cfg
+}
+
+// teaConfig converts the spec's TEA companion section.
+func teaConfig(t *spec.TEA) core.Config {
+	return core.Config{
+		H2PSets:        t.H2PSets,
+		H2PWays:        t.H2PWays,
+		H2PMax:         t.H2PMax,
+		H2PThreshold:   t.H2PThreshold,
+		H2PDecayPeriod: t.H2PDecayPeriod,
+
+		FillBufSize:   t.FillBufSize,
+		WalkCycles:    t.WalkCycles,
+		SourceMemSize: t.SourceMemSize,
+
+		BlockCacheSets:  t.BlockCacheSets,
+		BlockCacheWays:  t.BlockCacheWays,
+		EmptyTagSets:    t.EmptyTagSets,
+		EmptyTagWays:    t.EmptyTagWays,
+		MaskResetPeriod: t.MaskResetPeriod,
+		SegMaxUops:      t.SegMaxUops,
+
+		FrontLatency:  t.FrontLatency,
+		MaxLeadBlocks: t.MaxLeadBlocks,
+		RSPartition:   t.RSPartition,
+		PRPartition:   t.PRPartition,
+
+		StoreCacheLines: t.StoreCacheLines,
+		StoreWaitWindow: t.StoreWaitWindow,
+		LateLimit:       t.LateLimit,
+		WrongLimit:      t.WrongLimit,
+
+		OnlyLoops:         t.OnlyLoops,
+		NoMasks:           t.NoMasks,
+		NoMem:             t.NoMem,
+		DisableEarlyFlush: t.DisableEarlyFlush,
+	}
+}
+
+// runaheadConfig converts the spec's Branch Runahead companion section.
+func runaheadConfig(r *spec.Runahead) runahead.Config {
+	return runahead.Config{
+		MaxChains:      r.MaxChains,
+		MaxChainUops:   r.MaxChainUops,
+		QueueDepth:     r.QueueDepth,
+		MaxInstances:   r.MaxInstances,
+		EngineWidth:    r.EngineWidth,
+		RecaptureEvery: r.RecaptureEvery,
+		DisableAfter:   r.DisableAfter,
+		HistSize:       r.HistSize,
+	}
+}

@@ -1,0 +1,205 @@
+package tea
+
+// Machine-spec resolution tests: the converter contract that presets carry
+// exactly the literals the mode switches used to, and the resolution-order
+// rules of Config.ResolvedSpec. Real-run equivalence (preset spec vs mode,
+// patch vs override) lives in spec_equivalence_test.go.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"teasim/internal/core"
+	"teasim/internal/pipeline"
+	"teasim/internal/runahead"
+	"teasim/tea/spec"
+)
+
+// TestBaselineSpecMatchesDefaultConfigs pins the bit-identity foundation:
+// converting the baseline preset must reproduce the simulator packages'
+// DefaultConfig values exactly, field for field. If either side gains a
+// field or changes a literal, this fails before any golden drifts.
+func TestBaselineSpecMatchesDefaultConfigs(t *testing.T) {
+	s := spec.Baseline()
+	got := pipelineConfig(&s)
+	if want := pipeline.DefaultConfig(); !reflect.DeepEqual(got, want) {
+		t.Errorf("pipelineConfig(Baseline) != pipeline.DefaultConfig():\ngot:  %+v\nwant: %+v", got, want)
+	}
+	if got, want := teaConfig(spec.DefaultTEA()), core.DefaultConfig(); !reflect.DeepEqual(got, want) {
+		t.Errorf("teaConfig(DefaultTEA) != core.DefaultConfig():\ngot:  %+v\nwant: %+v", got, want)
+	}
+	if got, want := runaheadConfig(spec.DefaultRunahead()), runahead.DefaultConfig(); !reflect.DeepEqual(got, want) {
+		t.Errorf("runaheadConfig(DefaultRunahead) != runahead.DefaultConfig():\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestModePresetsMatchModeSwitches pins each preset's pipeline-level shape
+// to what the old per-mode switch hardcoded.
+func TestModePresetsMatchModeSwitches(t *testing.T) {
+	base := pipeline.DefaultConfig()
+	cases := []struct {
+		mode Mode
+		want func() pipeline.Config
+	}{
+		{ModeBaseline, func() pipeline.Config { return base }},
+		{ModeTEA, func() pipeline.Config { return base }},
+		{ModeTEADedicated, func() pipeline.Config {
+			c := base
+			c.CompanionDedicated = true
+			c.CompanionPorts = 16
+			return c
+		}},
+		{ModeBranchRunahead, func() pipeline.Config { return base }},
+		{ModeTEABigEngine, func() pipeline.Config {
+			c := base
+			c.CompanionDedicated = true
+			c.CompanionPorts = c.ALUPorts + c.LDPorts + c.LDSTPorts + c.FPPorts
+			return c
+		}},
+		{ModeWide16, func() pipeline.Config {
+			c := base
+			c.FrontWidth = 16
+			c.FrontQCap = 192
+			return c
+		}},
+	}
+	if len(cases) != len(Modes()) {
+		t.Fatalf("mode switch table covers %d modes, registry has %d", len(cases), len(Modes()))
+	}
+	for _, tc := range cases {
+		s, err := tc.mode.Preset()
+		if err != nil {
+			t.Errorf("%s: %v", tc.mode, err)
+			continue
+		}
+		if got, want := pipelineConfig(&s), tc.want(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s preset pipeline config:\ngot:  %+v\nwant: %+v", tc.mode, got, want)
+		}
+	}
+}
+
+// TestModePresetRegistry asserts the mode enum and the spec preset registry
+// stay one-to-one: every mode resolves a preset of the same name, and every
+// registered preset is reachable from a mode.
+func TestModePresetRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range Modes() {
+		if _, err := m.Preset(); err != nil {
+			t.Errorf("mode %s has no preset: %v", m, err)
+		}
+		parsed, err := ParseMode(m.String())
+		if err != nil || parsed != m {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", m.String(), parsed, err, m)
+		}
+		names[m.String()] = true
+	}
+	for _, p := range spec.Presets() {
+		if !names[p] {
+			t.Errorf("preset %q has no corresponding Mode", p)
+		}
+	}
+}
+
+// TestResolvedSpecOrder asserts the resolution order: explicit spec (or
+// preset) → ablations → size overrides → Set patches, with patches winning.
+func TestResolvedSpecOrder(t *testing.T) {
+	cfg := Config{
+		Mode:           ModeTEA,
+		OnlyLoops:      true,
+		FillBufferSize: 256,
+		Set:            []string{"companion.tea.fill_buf_size=1024"},
+	}
+	s, err := cfg.ResolvedSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Companion.TEA.OnlyLoops {
+		t.Error("ablation switch did not reach the resolved spec")
+	}
+	if s.Companion.TEA.FillBufSize != 1024 {
+		t.Errorf("fill_buf_size = %d; the -set patch must win over the override field",
+			s.Companion.TEA.FillBufSize)
+	}
+
+	// BlockCacheEntries rounds to geometry exactly as the old mode switch.
+	cfg = Config{Mode: ModeTEA, BlockCacheEntries: 1000}
+	if s, err = cfg.ResolvedSpec(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Companion.TEA.BlockCacheSets != 128 {
+		t.Errorf("BlockCacheEntries=1000 resolved to %d sets, want 128", s.Companion.TEA.BlockCacheSets)
+	}
+}
+
+// TestResolvedSpecRejectsCompanionOverridesOnBaseline asserts TEA-only
+// knobs error on TEA-less machines instead of being silently dropped.
+func TestResolvedSpecRejectsCompanionOverridesOnBaseline(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"ablation", Config{Mode: ModeBaseline, OnlyLoops: true}},
+		{"size override", Config{Mode: ModeBaseline, FillBufferSize: 256}},
+		{"wide16 ablation", Config{Mode: ModeWide16, NoMem: true}},
+		{"runahead tea override", Config{Mode: ModeBranchRunahead, BlockCacheEntries: 64}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.cfg.ResolvedSpec()
+			if err == nil || !strings.Contains(err.Error(), "require a TEA companion") {
+				t.Fatalf("ResolvedSpec = %v, want a TEA-companion-required error", err)
+			}
+			// And the run itself fails the same way.
+			if _, err := Run("bfs", tc.cfg); err == nil {
+				t.Fatal("Run accepted a config whose spec cannot resolve")
+			}
+		})
+	}
+
+	// An invalid patch is also rejected at resolution.
+	_, err := Config{Mode: ModeBaseline, Set: []string{"backend.rob_size=-1"}}.ResolvedSpec()
+	if err == nil || !strings.Contains(err.Error(), "rob_size") {
+		t.Fatalf("negative rob_size resolved: %v", err)
+	}
+}
+
+// TestSpecFingerprintEquivalences asserts the identities the memo cache
+// relies on: override fields, their patch forms, and hand-edited specs all
+// fingerprint identically when they describe the same machine.
+func TestSpecFingerprintEquivalences(t *testing.T) {
+	fp := func(c Config) uint64 {
+		t.Helper()
+		v, err := c.SpecFingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	plain := fp(Config{Mode: ModeTEA})
+	if redundant := fp(Config{Mode: ModeTEA, FillBufferSize: 512}); redundant != plain {
+		t.Error("override set to the preset value changed the fingerprint")
+	}
+	override := fp(Config{Mode: ModeTEA, FillBufferSize: 1024})
+	patched := fp(Config{Mode: ModeTEA, Set: []string{"companion.tea.fill_buf_size=1024"}})
+	if override != patched {
+		t.Error("override field and its -set patch fingerprint differently")
+	}
+	if override == plain {
+		t.Error("changing the fill buffer did not change the fingerprint")
+	}
+
+	teaSpec, err := ModeTEA.Preset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	teaSpec.Companion.TEA.FillBufSize = 1024
+	if explicit := fp(Config{Spec: &teaSpec}); explicit != override {
+		t.Error("hand-edited spec and override field fingerprint differently")
+	}
+
+	// Behavioral knobs (CoSim, idle skip, telemetry) are not machine state.
+	if cosim := fp(Config{Mode: ModeTEA, CoSim: true}); cosim != plain {
+		t.Error("CoSim changed the machine fingerprint")
+	}
+}

@@ -1,6 +1,10 @@
 package tea
 
-import "fmt"
+import (
+	"fmt"
+
+	"teasim/tea/spec"
+)
 
 // SensRow is one point of a structure-size sensitivity sweep.
 type SensRow struct {
@@ -44,10 +48,39 @@ func SensDefaults(p SensParam) []int {
 	return nil
 }
 
+// Patch renders one sweep point as a dotted-path spec patch (the
+// spec.MachineSpec.Set form), making every sweep a pure data edit of the TEA
+// preset. Capacity-valued parameters are converted to the spec's geometry:
+// SensBlockCache entries become a set count at the preset's 8-way
+// associativity, rounded up to the next power of two exactly as
+// spec.TEA.SetBlockCacheEntries does.
+func (p SensParam) Patch(value int) (string, error) {
+	switch p {
+	case SensBlockCache:
+		sets := 1
+		for sets*spec.DefaultTEA().BlockCacheWays < value {
+			sets *= 2
+		}
+		return fmt.Sprintf("companion.tea.block_cache_sets=%d", sets), nil
+	case SensFillBuffer:
+		return fmt.Sprintf("companion.tea.fill_buf_size=%d", value), nil
+	case SensH2PDecay:
+		return fmt.Sprintf("companion.tea.h2p_decay_period=%d", value), nil
+	case SensLead:
+		return fmt.Sprintf("companion.tea.max_lead_blocks=%d", value), nil
+	case SensFetchQueue:
+		return fmt.Sprintf("frontend.fetch_queue_size=%d", value), nil
+	}
+	return "", fmt.Errorf("tea: unknown sensitivity parameter %q", p)
+}
+
 // Sensitivity sweeps one parameter over the given values (nil = defaults)
-// for every workload in opts, measuring TEA speedup over the baseline. The
-// full workload × value matrix plus the per-workload baselines dispatch as
-// one engine batch.
+// for every workload in opts, measuring TEA speedup over the baseline. Every
+// sweep point is the ModeTEA preset plus one spec patch (SensParam.Patch);
+// the full workload × value matrix plus the per-workload baselines dispatch
+// as one engine batch. Points that patch a field back to its preset value
+// fingerprint identically to the plain preset, so the engine simulates them
+// once across sweeps.
 func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) {
 	opts = opts.fill()
 	if values == nil {
@@ -58,21 +91,12 @@ func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) 
 	for _, name := range opts.Workloads {
 		jobs = append(jobs, opts.job(name, opts.cfg(ModeBaseline)))
 		for _, v := range values {
-			cfg := opts.cfg(ModeTEA)
-			switch p {
-			case SensBlockCache:
-				cfg.BlockCacheEntries = v
-			case SensFillBuffer:
-				cfg.FillBufferSize = v
-			case SensH2PDecay:
-				cfg.H2PDecayPeriod = uint64(v)
-			case SensLead:
-				cfg.MaxLeadBlocks = v
-			case SensFetchQueue:
-				cfg.FetchQueueSize = v
-			default:
-				return nil, fmt.Errorf("tea: unknown sensitivity parameter %q", p)
+			patch, err := p.Patch(v)
+			if err != nil {
+				return nil, err
 			}
+			cfg := opts.cfg(ModeTEA)
+			cfg.Set = []string{patch}
 			jobs = append(jobs, opts.job(name, cfg))
 		}
 	}

@@ -1,0 +1,77 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+)
+
+// MarshalJSON output is canonical by construction: encoding/json emits
+// struct fields in declaration order, so marshal → unmarshal → marshal is
+// byte-stable (the round-trip test pins this).
+
+// Canonical returns the spec's canonical (compact, deterministic) JSON
+// encoding — the byte stream behind Fingerprint.
+func (s *MachineSpec) Canonical() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Only unrepresentable values (NaN, cycles) can fail here; the spec
+		// tree contains neither.
+		panic(fmt.Sprintf("spec: canonical encoding failed: %v", err))
+	}
+	return b
+}
+
+// Fingerprint returns a stable 64-bit hash (FNV-1a) of the canonical
+// encoding. Two specs fingerprint equal exactly when every resolved field
+// is equal, so the fingerprint keys experiment memoization and stamps
+// results for provenance.
+func (s *MachineSpec) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write(s.Canonical())
+	return h.Sum64()
+}
+
+// FingerprintString returns the fingerprint as the fixed-width hex string
+// used in reports (Result.spec_hash).
+func (s *MachineSpec) FingerprintString() string {
+	return fmt.Sprintf("%016x", s.Fingerprint())
+}
+
+// Indent returns the indented JSON encoding used for golden files and
+// -config examples (trailing newline included).
+func (s *MachineSpec) Indent() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("spec: indented encoding failed: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// Parse decodes a spec from JSON, rejecting unknown fields so a typo in a
+// -config file fails loudly instead of silently simulating the default.
+// The result is not validated; call Validate after any further patches.
+func Parse(data []byte) (MachineSpec, error) {
+	var s MachineSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return MachineSpec{}, fmt.Errorf("spec: %w", err)
+	}
+	return s, nil
+}
+
+// Load reads and parses a spec JSON file (see Parse).
+func Load(path string) (MachineSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return MachineSpec{}, fmt.Errorf("spec: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return MachineSpec{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}

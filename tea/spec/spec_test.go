@@ -1,0 +1,374 @@
+package spec
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden spec files")
+
+// TestPresetGoldens pins every registered preset's resolved spec JSON to a
+// committed golden file: any drift in a preset's literals — accidental or
+// deliberate — shows up as a readable diff in review.
+func TestPresetGoldens(t *testing.T) {
+	names := Presets()
+	if len(names) == 0 {
+		t.Fatal("no presets registered")
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			s, err := Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := s.Indent()
+			path := filepath.Join("testdata", "specs", name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run `go test ./tea/spec -update`): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("preset %q drifted from its golden %s:\n--- golden\n%s\n--- got\n%s",
+					name, path, want, got)
+			}
+		})
+	}
+}
+
+// TestPresetsValidate asserts every registered preset passes Validate.
+func TestPresetsValidate(t *testing.T) {
+	for _, name := range Presets() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %q fails validation: %v", name, err)
+		}
+	}
+}
+
+// TestJSONRoundTripByteStable asserts marshal → unmarshal → marshal is
+// byte-identical for every preset (the canonical-encoding contract behind
+// Fingerprint).
+func TestJSONRoundTripByteStable(t *testing.T) {
+	for _, name := range Presets() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := s.Canonical()
+		parsed, err := Parse(first)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		second := parsed.Canonical()
+		if !bytes.Equal(first, second) {
+			t.Errorf("preset %q round trip is not byte-stable:\nfirst:  %s\nsecond: %s",
+				name, first, second)
+		}
+		if !reflect.DeepEqual(s, parsed) {
+			t.Errorf("preset %q round trip changed the value:\nbefore: %+v\nafter:  %+v",
+				name, s, parsed)
+		}
+	}
+}
+
+// TestParseRejectsUnknownFields asserts a typo'd -config field is an error,
+// not a silently-default machine.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	s := Baseline()
+	data := bytes.Replace(s.Canonical(), []byte(`"rob_size"`), []byte(`"rob_sise"`), 1)
+	if _, err := Parse(data); err == nil || !strings.Contains(err.Error(), "rob_sise") {
+		t.Fatalf("Parse accepted an unknown field; err = %v", err)
+	}
+}
+
+// TestFingerprint asserts equal specs fingerprint equal, any field change
+// moves the fingerprint, and clones are independent.
+func TestFingerprint(t *testing.T) {
+	a, b := Baseline(), Baseline()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("two fresh baselines fingerprint differently")
+	}
+	b.Frontend.FetchQueueSize = 64
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("changing fetch_queue_size did not change the fingerprint")
+	}
+
+	tea, err := Preset("tea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := tea.Clone()
+	if tea.Fingerprint() != clone.Fingerprint() {
+		t.Fatal("clone fingerprints differently from its original")
+	}
+	clone.Companion.TEA.FillBufSize = 1024
+	clone.Predictor.TageHistLens[0] = 5
+	if tea.Companion.TEA.FillBufSize != 512 || tea.Predictor.TageHistLens[0] != 4 {
+		t.Fatal("mutating a clone leaked into the original")
+	}
+	if tea.Fingerprint() == clone.Fingerprint() {
+		t.Fatal("companion edit did not change the fingerprint")
+	}
+}
+
+// TestValidateErrors exercises the actionable-error paths: each broken spec
+// must fail with a message naming the offending field.
+func TestValidateErrors(t *testing.T) {
+	teaSpec := func(mut func(*MachineSpec)) MachineSpec {
+		s, err := Preset("tea")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut(&s)
+		return s
+	}
+	cases := []struct {
+		name string
+		spec MachineSpec
+		want string // substring of the joined error
+	}{
+		{
+			name: "zero value",
+			spec: MachineSpec{},
+			want: "frontend.width must be positive",
+		},
+		{
+			name: "negative rob",
+			spec: teaSpec(func(s *MachineSpec) { s.Backend.ROBSize = -1 }),
+			want: "backend.rob_size must be positive",
+		},
+		{
+			name: "non pow2 cache sets",
+			spec: teaSpec(func(s *MachineSpec) { s.Memory.LLCWays = 12 }),
+			want: "llc set count",
+		},
+		{
+			name: "tage tables out of range",
+			spec: teaSpec(func(s *MachineSpec) { s.Predictor.TageTables = 13 }),
+			want: "predictor.tage_tables must be in [1,12]",
+		},
+		{
+			name: "hist lens mismatch",
+			spec: teaSpec(func(s *MachineSpec) { s.Predictor.TageTables = 4 }),
+			want: "predictor.tage_hist_lens has 12 lengths for 4 tables",
+		},
+		{
+			name: "non pow2 btb sets",
+			spec: teaSpec(func(s *MachineSpec) { s.Predictor.BTBWays = 3 }),
+			want: "btb_entries/btb_ways",
+		},
+		{
+			name: "companion overrides on baseline",
+			spec: teaSpec(func(s *MachineSpec) {
+				s.Companion = Companion{Kind: CompanionNone, Dedicated: true, Ports: 16}
+			}),
+			want: `kind "none" has no engine`,
+		},
+		{
+			name: "tea section on baseline",
+			spec: teaSpec(func(s *MachineSpec) { s.Companion.Kind = CompanionNone }),
+			want: "set companion.kind=tea to use it",
+		},
+		{
+			name: "tea kind without section",
+			spec: teaSpec(func(s *MachineSpec) { s.Companion.TEA = nil }),
+			want: `kind "tea" requires a tea section`,
+		},
+		{
+			name: "both sections",
+			spec: teaSpec(func(s *MachineSpec) { s.Companion.Runahead = DefaultRunahead() }),
+			want: `kind "tea" conflicts with a runahead section`,
+		},
+		{
+			name: "dedicated without ports",
+			spec: teaSpec(func(s *MachineSpec) { s.Companion.Dedicated = true }),
+			want: "dedicated engine requires ports > 0",
+		},
+		{
+			name: "ports without dedicated",
+			spec: teaSpec(func(s *MachineSpec) { s.Companion.Ports = 16 }),
+			want: "only apply to a dedicated engine",
+		},
+		{
+			name: "runahead with engine shape",
+			spec: teaSpec(func(s *MachineSpec) {
+				s.Companion = Companion{Kind: CompanionRunahead, Runahead: DefaultRunahead(), NoPriority: true}
+			}),
+			want: "runahead brings its own engine",
+		},
+		{
+			name: "unknown kind",
+			spec: teaSpec(func(s *MachineSpec) { s.Companion.Kind = "turbo" }),
+			want: `companion.kind "turbo" unknown`,
+		},
+		{
+			name: "non pow2 block cache sets",
+			spec: teaSpec(func(s *MachineSpec) { s.Companion.TEA.BlockCacheSets = 48 }),
+			want: "companion.tea.block_cache_sets must be a power of two",
+		},
+		{
+			name: "h2p threshold above max",
+			spec: teaSpec(func(s *MachineSpec) { s.Companion.TEA.H2PThreshold = 7 }),
+			want: "h2p_threshold (7) must be below h2p_max (7)",
+		},
+		{
+			name: "rs partition swallows backend",
+			spec: teaSpec(func(s *MachineSpec) { s.Companion.TEA.RSPartition = 400 }),
+			want: "must leave the main thread reservation stations",
+		},
+		{
+			name: "zero runahead field",
+			spec: teaSpec(func(s *MachineSpec) {
+				s.Companion = Companion{Kind: CompanionRunahead, Runahead: DefaultRunahead()}
+				s.Companion.Runahead.QueueDepth = 0
+			}),
+			want: "companion.runahead.queue_depth must be positive",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted a broken spec; want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSetPatches exercises the dotted-path patch language over every value
+// kind and the companion.kind reshaping rules.
+func TestSetPatches(t *testing.T) {
+	t.Run("values", func(t *testing.T) {
+		s, err := Preset("tea")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []string{
+			"frontend.fetch_queue_size=64",
+			"backend.alu_lat=2",
+			"companion.tea.h2p_max=5",
+			"companion.tea.fill_buf_size=1024",
+			"companion.tea.only_loops=true",
+			"companion.dedicated=true",
+			"companion.ports=16",
+			"predictor.tage_tables=4",
+			"predictor.tage_hist_lens=4,8,13,22",
+		} {
+			if err := s.Set(p); err != nil {
+				t.Fatalf("Set(%q): %v", p, err)
+			}
+		}
+		if s.Frontend.FetchQueueSize != 64 || s.Backend.ALULat != 2 ||
+			s.Companion.TEA.H2PMax != 5 || s.Companion.TEA.FillBufSize != 1024 ||
+			!s.Companion.TEA.OnlyLoops || !s.Companion.Dedicated || s.Companion.Ports != 16 {
+			t.Fatalf("patches did not land: %+v", s)
+		}
+		if want := []uint32{4, 8, 13, 22}; !reflect.DeepEqual(s.Predictor.TageHistLens, want) {
+			t.Fatalf("hist lens patch: got %v, want %v", s.Predictor.TageHistLens, want)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("patched spec fails validation: %v", err)
+		}
+	})
+
+	t.Run("kind reshapes", func(t *testing.T) {
+		s := Baseline()
+		if err := s.Set("companion.kind=tea"); err != nil {
+			t.Fatal(err)
+		}
+		if s.Companion.Kind != CompanionTEA || s.Companion.TEA == nil {
+			t.Fatalf("kind=tea did not install a TEA section: %+v", s.Companion)
+		}
+		if err := s.Set("companion.tea.walk_cycles=250"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Set("companion.kind=runahead"); err != nil {
+			t.Fatal(err)
+		}
+		if s.Companion.TEA != nil || s.Companion.Runahead == nil {
+			t.Fatalf("kind=runahead did not swap sections: %+v", s.Companion)
+		}
+		if err := s.Set("companion.kind=none"); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(s.Companion, Companion{Kind: CompanionNone}) {
+			t.Fatalf("kind=none did not clear the companion: %+v", s.Companion)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		for _, tc := range []struct{ patch, want string }{
+			{"frontend.fetch_queue_size", "not of the form"},
+			{"frontend.nope=3", `unknown field "nope"`},
+			{"frontend=3", "is a section, not a field"},
+			{"frontend.width.deep=3", "cannot descend"},
+			{"frontend.width=abc", "want an integer"},
+			{"companion.tea.only_loops=maybe", "want true or false"},
+			{"companion.kind=turbo", `"turbo" unknown`},
+		} {
+			s, err := Preset("tea")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Set(tc.patch); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Set(%q) = %v, want error containing %q", tc.patch, err, tc.want)
+			}
+		}
+		// Patching a nil section points at the kind switch.
+		s := Baseline()
+		err := s.Set("companion.tea.fill_buf_size=64")
+		if err == nil || !strings.Contains(err.Error(), "set companion.kind first") {
+			t.Errorf("nil-section patch: %v", err)
+		}
+	})
+}
+
+// TestBlockCacheEntries pins the capacity↔geometry conversion used by the
+// sensitivity sweeps: entries round up to a power-of-two set count at fixed
+// associativity.
+func TestBlockCacheEntries(t *testing.T) {
+	tea := DefaultTEA()
+	if got := tea.BlockCacheEntries(); got != 512 {
+		t.Fatalf("default Block Cache entries = %d, want 512", got)
+	}
+	for _, tc := range []struct{ entries, wantSets int }{
+		{64, 8}, {512, 64}, {1000, 128}, {1024, 128}, {2048, 256},
+	} {
+		tea.SetBlockCacheEntries(tc.entries)
+		if tea.BlockCacheSets != tc.wantSets {
+			t.Errorf("SetBlockCacheEntries(%d): sets = %d, want %d",
+				tc.entries, tea.BlockCacheSets, tc.wantSets)
+		}
+	}
+}
+
+// TestPresetUnknown asserts the preset lookup error names the known presets.
+func TestPresetUnknown(t *testing.T) {
+	_, err := Preset("warp-drive")
+	if err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("unknown-preset error should list known presets, got %v", err)
+	}
+}

@@ -1,0 +1,222 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// maxTageTables is the implementation capacity of the TAGE predictor (the
+// per-prediction context carries fixed-size per-table state).
+const maxTageTables = 12
+
+// Validate checks the spec against the simulator's structural requirements
+// and the companion cross-field rules, returning every violation (joined)
+// with an actionable message. A spec that validates builds without panics.
+func (s *MachineSpec) Validate() error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	positive := func(section string, fields map[string]int) {
+		for name, v := range fields {
+			if v <= 0 {
+				bad("%s.%s must be positive, got %d", section, name, v)
+			}
+		}
+	}
+	pow2 := func(section, name string, v int) {
+		if v <= 0 || v&(v-1) != 0 {
+			bad("%s.%s must be a power of two (indices are computed by masking), got %d", section, name, v)
+		}
+	}
+
+	positive("frontend", map[string]int{
+		"width":               s.Frontend.Width,
+		"retire_width":        s.Frontend.RetireWidth,
+		"fetch_queue_size":    s.Frontend.FetchQueueSize,
+		"max_block_instrs":    s.Frontend.MaxBlockInstrs,
+		"fetch_lines_per_cyc": s.Frontend.FetchLinesPerCyc,
+		"front_q_cap":         s.Frontend.FrontQCap,
+	})
+
+	positive("backend", map[string]int{
+		"rob_size":  s.Backend.ROBSize,
+		"rs_size":   s.Backend.RSSize,
+		"num_pregs": s.Backend.NumPRegs,
+		"lq_size":   s.Backend.LQSize,
+		"sq_size":   s.Backend.SQSize,
+		"alu_lat":   int(s.Backend.ALULat),
+		"mul_lat":   int(s.Backend.MulLat),
+		"div_lat":   int(s.Backend.DivLat),
+		"fp_lat":    int(s.Backend.FPLat),
+		"fdiv_lat":  int(s.Backend.FDivLat),
+	})
+	if s.Backend.Ports() <= 0 {
+		bad("backend: at least one execution port is required (alu+ld+ldst+fp = %d)", s.Backend.Ports())
+	}
+	for name, v := range map[string]int{
+		"alu_ports": s.Backend.ALUPorts, "ld_ports": s.Backend.LDPorts,
+		"ldst_ports": s.Backend.LDSTPorts, "fp_ports": s.Backend.FPPorts,
+	} {
+		if v < 0 {
+			bad("backend.%s must be non-negative, got %d", name, v)
+		}
+	}
+
+	positive("memory", map[string]int{
+		"l1i_size": s.Memory.L1ISize, "l1i_ways": s.Memory.L1IWays,
+		"l1d_size": s.Memory.L1DSize, "l1d_ways": s.Memory.L1DWays,
+		"llc_size": s.Memory.LLCSize, "llc_ways": s.Memory.LLCWays,
+		"l1_lat": int(s.Memory.L1Lat), "llc_lat": int(s.Memory.LLCLat),
+		"l1_mshrs": s.Memory.L1MSHRs, "llc_mshrs": s.Memory.LLCMSHRs,
+	})
+	// Cache sets = size / (ways × 64B line); indices are masked.
+	for _, c := range []struct {
+		name       string
+		size, ways int
+	}{
+		{"l1i", s.Memory.L1ISize, s.Memory.L1IWays},
+		{"l1d", s.Memory.L1DSize, s.Memory.L1DWays},
+		{"llc", s.Memory.LLCSize, s.Memory.LLCWays},
+	} {
+		if c.size <= 0 || c.ways <= 0 {
+			continue // already reported above
+		}
+		if sets := c.size / c.ways / 64; sets <= 0 || sets&(sets-1) != 0 {
+			bad("memory: %s set count %d (size %d / ways %d / 64B lines) must be a positive power of two",
+				c.name, sets, c.size, c.ways)
+		}
+	}
+
+	p := &s.Predictor
+	if p.TageTables < 1 || p.TageTables > maxTageTables {
+		bad("predictor.tage_tables must be in [1,%d], got %d", maxTageTables, p.TageTables)
+	}
+	if len(p.TageHistLens) != p.TageTables {
+		bad("predictor.tage_hist_lens has %d lengths for %d tables (they must match)",
+			len(p.TageHistLens), p.TageTables)
+	}
+	for i, l := range p.TageHistLens {
+		if l == 0 {
+			bad("predictor.tage_hist_lens[%d] must be positive", i)
+		}
+	}
+	positive("predictor", map[string]int{
+		"btb_entries": p.BTBEntries,
+		"btb_ways":    p.BTBWays,
+		"ras_entries": p.RASEntries,
+	})
+	if p.BTBEntries > 0 && p.BTBWays > 0 {
+		pow2("predictor", "btb_entries/btb_ways (set count)", p.BTBEntries/p.BTBWays)
+	}
+
+	s.validateCompanion(&errs, bad)
+	return errors.Join(errs...)
+}
+
+// validateCompanion enforces the kind cross-field rules: exactly the section
+// named by Kind is populated and engine shape fields match the kind.
+func (s *MachineSpec) validateCompanion(errs *[]error, bad func(string, ...any)) {
+	c := &s.Companion
+	switch c.Kind {
+	case CompanionNone:
+		if c.TEA != nil {
+			bad(`companion: kind "none" must not carry a tea section (set companion.kind=tea to use it)`)
+		}
+		if c.Runahead != nil {
+			bad(`companion: kind "none" must not carry a runahead section (set companion.kind=runahead to use it)`)
+		}
+		if c.Dedicated || c.Ports != 0 || c.NoPriority {
+			bad(`companion: kind "none" has no engine; dedicated/ports/no_priority must be unset`)
+		}
+	case CompanionTEA:
+		if c.TEA == nil {
+			bad(`companion: kind "tea" requires a tea section (see spec.DefaultTEA for Table II)`)
+		}
+		if c.Runahead != nil {
+			bad(`companion: kind "tea" conflicts with a runahead section; remove one`)
+		}
+		if c.Dedicated && c.Ports <= 0 {
+			bad("companion: dedicated engine requires ports > 0, got %d", c.Ports)
+		}
+		if !c.Dedicated && c.Ports != 0 {
+			bad("companion: ports (%d) only apply to a dedicated engine; set dedicated=true", c.Ports)
+		}
+		if c.TEA != nil {
+			validateTEA(c.TEA, bad)
+			if c.TEA.RSPartition > 0 && c.TEA.RSPartition >= s.Backend.RSSize {
+				bad("companion.tea.rs_partition (%d) must leave the main thread reservation stations (backend.rs_size %d)",
+					c.TEA.RSPartition, s.Backend.RSSize)
+			}
+		}
+	case CompanionRunahead:
+		if c.Runahead == nil {
+			bad(`companion: kind "runahead" requires a runahead section (see spec.DefaultRunahead)`)
+		}
+		if c.TEA != nil {
+			bad(`companion: kind "runahead" conflicts with a tea section; remove one`)
+		}
+		if c.Dedicated || c.Ports != 0 || c.NoPriority {
+			bad("companion: runahead brings its own engine (engine_width); dedicated/ports/no_priority must be unset")
+		}
+		if c.Runahead != nil {
+			validateRunahead(c.Runahead, bad)
+		}
+	default:
+		bad("companion.kind %q unknown (want none, tea, or runahead)", c.Kind)
+	}
+}
+
+func validateTEA(t *TEA, bad func(string, ...any)) {
+	for name, v := range map[string]int{
+		"h2p_ways":          t.H2PWays,
+		"fill_buf_size":     t.FillBufSize,
+		"walk_cycles":       int(t.WalkCycles),
+		"source_mem_size":   t.SourceMemSize,
+		"block_cache_ways":  t.BlockCacheWays,
+		"empty_tag_ways":    t.EmptyTagWays,
+		"seg_max_uops":      t.SegMaxUops,
+		"max_lead_blocks":   t.MaxLeadBlocks,
+		"rs_partition":      t.RSPartition,
+		"pr_partition":      t.PRPartition,
+		"store_cache_lines": t.StoreCacheLines,
+		"store_wait_window": t.StoreWaitWindow,
+		"late_limit":        t.LateLimit,
+		"wrong_limit":       t.WrongLimit,
+		"h2p_decay_period":  int(t.H2PDecayPeriod),
+	} {
+		if v <= 0 {
+			bad("companion.tea.%s must be positive, got %d", name, v)
+		}
+	}
+	for name, v := range map[string]int{
+		"h2p_sets":         t.H2PSets,
+		"block_cache_sets": t.BlockCacheSets,
+		"empty_tag_sets":   t.EmptyTagSets,
+	} {
+		if v <= 0 || v&(v-1) != 0 {
+			bad("companion.tea.%s must be a power of two (indices are computed by masking), got %d", name, v)
+		}
+	}
+	if t.H2PThreshold >= t.H2PMax {
+		bad("companion.tea.h2p_threshold (%d) must be below h2p_max (%d) or no branch ever qualifies",
+			t.H2PThreshold, t.H2PMax)
+	}
+}
+
+func validateRunahead(r *Runahead, bad func(string, ...any)) {
+	for name, v := range map[string]int{
+		"max_chains":      r.MaxChains,
+		"max_chain_uops":  r.MaxChainUops,
+		"queue_depth":     r.QueueDepth,
+		"max_instances":   r.MaxInstances,
+		"engine_width":    r.EngineWidth,
+		"recapture_every": r.RecaptureEvery,
+		"disable_after":   r.DisableAfter,
+		"hist_size":       r.HistSize,
+	} {
+		if v <= 0 {
+			bad("companion.runahead.%s must be positive, got %d", name, v)
+		}
+	}
+}

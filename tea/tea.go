@@ -13,11 +13,15 @@
 //
 //	base, _ := tea.Run("bfs", tea.Config{Mode: tea.ModeBaseline})
 //	fmt.Printf("speedup %.2fx\n", float64(base.Cycles)/float64(res.Cycles))
+//
+// Every run simulates one declarative machine point (tea/spec): the Mode
+// names a registered preset, Config.Spec substitutes a custom spec, and
+// Config.Set patches individual fields ("companion.tea.fill_buf_size=1024").
+// See Config.ResolvedSpec for the resolution order.
 package tea
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -27,87 +31,22 @@ import (
 	"teasim/internal/runahead"
 	"teasim/internal/telemetry"
 	"teasim/internal/workloads"
+	"teasim/tea/spec"
 )
-
-// Mode selects the precomputation scheme attached to the baseline core.
-type Mode int
-
-// Modes.
-const (
-	// ModeBaseline runs the Table I out-of-order core with no
-	// precomputation.
-	ModeBaseline Mode = iota
-	// ModeTEA attaches the paper's TEA thread using on-core resources
-	// (the headline configuration, Fig. 5).
-	ModeTEA
-	// ModeTEADedicated runs the TEA thread on a dedicated execution engine
-	// with 16 execution units (§V-D, Fig. 9).
-	ModeTEADedicated
-	// ModeBranchRunahead attaches the prior-work Branch Runahead engine
-	// (§V-C, Fig. 8).
-	ModeBranchRunahead
-	// ModeTEABigEngine gives the TEA thread a dedicated engine as large as
-	// the main core's backend (§V-D: "a much larger execution engine...
-	// provided very little additional benefit (12.8%)").
-	ModeTEABigEngine
-	// ModeWide16 runs a TEA-less 16-wide frontend baseline (§IV-H: a true
-	// 16-wide core costs ~10% area for only 2.8% performance, because
-	// predictor bandwidth, not fetch width, is the limiter).
-	ModeWide16
-)
-
-// String returns the mode name used in reports.
-func (m Mode) String() string {
-	switch m {
-	case ModeBaseline:
-		return "baseline"
-	case ModeTEA:
-		return "tea"
-	case ModeTEADedicated:
-		return "tea-dedicated"
-	case ModeBranchRunahead:
-		return "runahead"
-	case ModeTEABigEngine:
-		return "tea-bigengine"
-	case ModeWide16:
-		return "wide16"
-	}
-	return fmt.Sprintf("mode(%d)", int(m))
-}
-
-// MarshalJSON renders the mode as its report name.
-func (m Mode) MarshalJSON() ([]byte, error) {
-	return []byte(fmt.Sprintf("%q", m.String())), nil
-}
-
-// UnmarshalJSON parses a report name back into a mode.
-func (m *Mode) UnmarshalJSON(b []byte) error {
-	var s string
-	if err := json.Unmarshal(b, &s); err != nil {
-		return err
-	}
-	mode, err := ParseMode(s)
-	if err != nil {
-		return err
-	}
-	*m = mode
-	return nil
-}
-
-// ParseMode parses a mode report name (the Mode.String form).
-func ParseMode(s string) (Mode, error) {
-	for _, m := range []Mode{ModeBaseline, ModeTEA, ModeTEADedicated,
-		ModeBranchRunahead, ModeTEABigEngine, ModeWide16} {
-		if m.String() == s {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("tea: unknown mode %q", s)
-}
 
 // Config controls one simulation run.
 type Config struct {
+	// Mode names the machine preset to simulate (ignored when Spec is set).
 	Mode Mode
+
+	// Spec, when non-nil, replaces the Mode's preset with a custom machine
+	// point (tea/spec). The spec is cloned before resolution, so callers may
+	// reuse one spec across runs.
+	Spec *spec.MachineSpec
+	// Set holds dotted-path spec patches ("section.field=value", see
+	// spec.MachineSpec.Set) applied after the ablation and structure-size
+	// overrides below, in order.
+	Set []string
 
 	// MaxInstructions bounds the simulated region (0 = run to completion).
 	// The experiment harness default is 1M instructions per workload.
@@ -123,16 +62,17 @@ type Config struct {
 	// this exists for debugging and the skip equivalence test.
 	DisableIdleSkip bool
 
-	// Fig. 10 ablation switches (TEA modes only).
+	// Fig. 10 ablation switches — spec patches on the companion's TEA
+	// section (error on a TEA-less machine).
 	OnlyLoops         bool // loop-confined chains ("only loops")
 	NoMasks           bool // no mask combining across control flows
 	NoMem             bool // no memory dependencies in the walk
 	DisableEarlyFlush bool // precompute but never flush (§V-B prefetch-only)
 
 	// Structure-size overrides for the paper's sensitivity studies
-	// (0 = paper default). See §IV-B (H2P decrement period, Block Cache
-	// capacity), §IV-C (Fill Buffer size), and §III-B (fetch-queue-bounded
-	// run-ahead distance).
+	// (0 = keep the spec's value) — shorthand spec patches. See §IV-B (H2P
+	// decrement period, Block Cache capacity), §IV-C (Fill Buffer size), and
+	// §III-B (fetch-queue-bounded run-ahead distance).
 	BlockCacheEntries int    // Block Cache data entries (default 512)
 	FillBufferSize    int    // Fill Buffer uops (default 512)
 	H2PDecayPeriod    uint64 // instructions between H2P decrements (default 50k)
@@ -142,7 +82,7 @@ type Config struct {
 	// Observability (see DESIGN.md "Telemetry"). These fields are purely
 	// observational: a run with telemetry attached retires the same
 	// instructions in the same cycles as one without. Runs with any of them
-	// set are never memoized by an Engine.
+	// set are never memoized by an Engine (see Config.Observational).
 	//
 	// Intervals samples a per-interval time series (IPC, MPKI, flush rate,
 	// TEA coverage/accuracy, Block Cache hit rate, Fill Buffer occupancy)
@@ -157,12 +97,34 @@ type Config struct {
 	TraceEnd       uint64
 }
 
+// Observational reports whether the run carries observation-only
+// attachments (telemetry intervals or a trace stream). Observational runs
+// produce bit-identical simulation results but are never memoized, so the
+// observation always happens.
+func (c Config) Observational() bool {
+	return c.Intervals || c.IntervalPeriod != 0 || c.TraceTo != nil ||
+		c.TraceStart != 0 || c.TraceEnd != 0
+}
+
+// Memoizable reports whether an Engine may serve this run from its result
+// cache: the run must not be observational (the caller wants the
+// observation, not just the numbers), must not co-simulate (the caller
+// wants the checking), and must not disable the idle skip (the point of
+// such a run is exercising the unskipped path). Memoizable runs are keyed
+// by (workload, mode, spec fingerprint, budget, scale) — see Engine.
+func (c Config) Memoizable() bool {
+	return !c.Observational() && !c.CoSim && !c.DisableIdleSkip
+}
+
 // Result reports one run's performance and precomputation metrics. It
 // marshals to JSON with snake_case keys (and the Mode as its report name),
 // so results can be piped straight into plotting scripts.
 type Result struct {
 	Workload string `json:"workload"`
 	Mode     Mode   `json:"mode"`
+	// SpecHash is the resolved machine spec's fingerprint (hex), tying the
+	// result to the exact machine point that produced it.
+	SpecHash string `json:"spec_hash,omitempty"`
 
 	Cycles       uint64  `json:"cycles"`
 	Instructions uint64  `json:"instructions"`
@@ -261,29 +223,18 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 	if !ok {
 		return Result{}, fmt.Errorf("tea: unknown workload %q (see tea.Workloads)", workload)
 	}
+	machine, err := cfg.ResolvedSpec()
+	if err != nil {
+		return Result{}, err
+	}
+	mode := effectiveMode(cfg, &machine)
 	prog := w.Build(cfg.Scale)
 
-	pcfg := pipeline.DefaultConfig()
+	pcfg := pipelineConfig(&machine)
 	pcfg.CoSim = cfg.CoSim
 	pcfg.NoIdleSkip = cfg.DisableIdleSkip
 	pcfg.MaxInstructions = cfg.MaxInstructions
 	pcfg.MaxCycles = 400_000_000
-	switch cfg.Mode {
-	case ModeTEADedicated:
-		pcfg.CompanionDedicated = true
-		pcfg.CompanionPorts = 16
-	case ModeTEABigEngine:
-		pcfg.CompanionDedicated = true
-		pcfg.CompanionPorts = pcfg.ALUPorts + pcfg.LDPorts + pcfg.LDSTPorts + pcfg.FPPorts
-	case ModeWide16:
-		// Double the frontend width only; the predictor still delivers one
-		// taken branch per cycle (the paper's point).
-		pcfg.FrontWidth = 16
-		pcfg.FrontQCap = 192
-	}
-	if cfg.FetchQueueSize > 0 {
-		pcfg.FetchQueueSize = cfg.FetchQueueSize
-	}
 
 	// Telemetry: an interval-collecting ring and/or a JSONL event stream.
 	var ring *telemetry.RingSink
@@ -314,34 +265,11 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 
 	var teaThread *core.TEA
 	var br *runahead.BR
-	switch cfg.Mode {
-	case ModeTEA, ModeTEADedicated, ModeTEABigEngine:
-		tcfg := core.DefaultConfig()
-		tcfg.OnlyLoops = cfg.OnlyLoops
-		tcfg.NoMasks = cfg.NoMasks
-		tcfg.NoMem = cfg.NoMem
-		tcfg.DisableEarlyFlush = cfg.DisableEarlyFlush
-		if cfg.BlockCacheEntries > 0 {
-			// Keep 8-way associativity; scale the set count to the next
-			// power of two (the index is computed by masking).
-			sets := 1
-			for sets*tcfg.BlockCacheWays < cfg.BlockCacheEntries {
-				sets *= 2
-			}
-			tcfg.BlockCacheSets = sets
-		}
-		if cfg.FillBufferSize > 0 {
-			tcfg.FillBufSize = cfg.FillBufferSize
-		}
-		if cfg.H2PDecayPeriod > 0 {
-			tcfg.H2PDecayPeriod = cfg.H2PDecayPeriod
-		}
-		if cfg.MaxLeadBlocks > 0 {
-			tcfg.MaxLeadBlocks = cfg.MaxLeadBlocks
-		}
-		teaThread = core.New(tcfg, c)
-	case ModeBranchRunahead:
-		br = runahead.New(runahead.DefaultConfig(), c)
+	switch machine.Companion.Kind {
+	case spec.CompanionTEA:
+		teaThread = core.New(teaConfig(machine.Companion.TEA), c)
+	case spec.CompanionRunahead:
+		br = runahead.New(runaheadConfig(machine.Companion.Runahead), c)
 	}
 
 	var runErr error
@@ -359,12 +287,13 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 		if ctx.Err() != nil {
 			return Result{}, ctx.Err()
 		}
-		return Result{}, fmt.Errorf("tea: %s/%s: %w", workload, cfg.Mode, runErr)
+		return Result{}, fmt.Errorf("tea: %s/%s: %w", workload, mode, runErr)
 	}
 
 	res := Result{
 		Workload:        workload,
-		Mode:            cfg.Mode,
+		Mode:            mode,
+		SpecHash:        machine.FingerprintString(),
 		Cycles:          c.Stats.Cycles,
 		Instructions:    c.Stats.Retired,
 		IPC:             c.Stats.IPC(),

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 tier2 lint race bench bench-smoke bench-experiments profile-cpu profile-mem clean
+.PHONY: all build test tier1 tier2 lint race bench bench-smoke bench-experiments paranoia fuzz-smoke profile-cpu profile-mem clean
 
 all: tier1
 
@@ -47,6 +47,21 @@ bench-smoke:
 		| tee /dev/stderr \
 		| $(GO) run ./internal/tools/benchjson -o $(BENCH_SMOKE_OUT)
 	@echo "wrote $(BENCH_SMOKE_OUT)"
+
+# Paranoia suite: the full workload × mode matrix with the per-cycle
+# invariant checker armed (see internal/pipeline/paranoia.go), asserting
+# results stay bit-identical to unchecked runs. Slow; CI runs the trimmed
+# default (plain TestParanoiaSuite) inside tier1 and this full form in the
+# robustness job.
+paranoia:
+	$(GO) test ./tea/ -run TestParanoiaSuite -paranoia-full -count=1 -timeout 30m
+
+# Fuzz smoke: a short budget on each tea/spec fuzz target, enough to catch
+# parser/patch regressions that panic on malformed input.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./tea/spec -run '^$$' -fuzz FuzzValidate -fuzztime $(FUZZTIME)
+	$(GO) test ./tea/spec -run '^$$' -fuzz FuzzSetPatch -fuzztime $(FUZZTIME)
 
 # Profiling workflow (see README "Profiling and parallelism"): run an
 # experiment under the profiler, then inspect with `go tool pprof`.

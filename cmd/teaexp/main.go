@@ -31,13 +31,27 @@
 // With -json or -format csv, stdout carries only the report data; timing
 // lines move to stderr. -progress streams per-job start/finish lines to
 // stderr in any format.
+//
+// Long runs (see DESIGN.md "Failure handling"):
+//
+//	teaexp -exp all -journal run.jsonl          # checkpoint every finished cell
+//	teaexp -exp all -journal run.jsonl -resume  # re-simulate only missing cells
+//	teaexp -exp fig5 -partial -retries 1 -repro-dir repro  # quarantine failures
+//	teaexp -exp fig5 -paranoia                  # per-cycle invariant checking
+//
+// Ctrl-C (SIGINT) stops cleanly: in-flight cells finish, the journal is
+// flushed, and the process exits 130; a -resume rerun picks up exactly the
+// cells that were still missing.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -77,10 +91,25 @@ func realMain() int {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		config   = flag.String("config", "", "machine spec JSON file: run it vs the baseline instead of -exp")
-		sets     stringList
+
+		journal  = flag.String("journal", "", "append every finished cell to this JSONL results journal")
+		resume   = flag.Bool("resume", false, "pre-seed the result cache from -journal, re-simulating only missing cells")
+		partial  = flag.Bool("partial", false, "quarantine failing cells as annotated error rows instead of aborting")
+		paranoia = flag.Bool("paranoia", false, "run every cell with the per-cycle invariant checker (slow, never memoized)")
+		jobTO    = flag.Duration("job-timeout", 0, "wall-time deadline per cell (0 = none)")
+		hangTO   = flag.Duration("hang-timeout", 0, "kill a cell whose simulation makes no progress for this long (0 = none)")
+		retries  = flag.Int("retries", 0, "re-attempts for a panicking cell before it fails for good")
+		reproDir = flag.String("repro-dir", "", "write a repro bundle (spec + metadata) for every permanently failed cell")
+
+		sets stringList
 	)
 	flag.Var(&sets, "set", "spec patch section.field=value (repeatable; with -config or alone)")
 	flag.Parse()
+
+	if *resume && *journal == "" {
+		fmt.Fprintln(os.Stderr, "teaexp: -resume requires -journal")
+		return 2
+	}
 
 	outFmt := tea.FormatText
 	if *jsonFlag {
@@ -122,9 +151,41 @@ func realMain() int {
 		}()
 	}
 
+	// SIGINT cancels the batch cooperatively: in-flight cells finish, the
+	// journal stays consistent, and the process exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// One engine for the whole invocation: `-exp all` shares every
 	// (workload, budget, scale) baseline across figures.
 	eng := tea.NewEngine(*workers)
+	if *jobTO != 0 || *hangTO != 0 || *retries != 0 || *reproDir != "" {
+		eng.SetPolicy(tea.JobPolicy{
+			Timeout:      *jobTO,
+			HangTimeout:  *hangTO,
+			Retries:      *retries,
+			RetryBackoff: 100 * time.Millisecond,
+			ReproDir:     *reproDir,
+		})
+	}
+	if *journal != "" {
+		if *resume {
+			recs, dropped, err := tea.ReadJournal(*journal)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			seeded := eng.SeedJournal(recs)
+			fmt.Fprintf(os.Stderr, "[journal: resumed %d cells (%d corrupt records dropped)]\n", seeded, dropped)
+		}
+		j, err := tea.OpenJournal(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer j.Close()
+		eng.SetJournal(j)
+	}
 	if *progress {
 		eng.SetProgress(func(ev tea.JobEvent) {
 			switch ev.Phase {
@@ -146,6 +207,9 @@ func realMain() int {
 		Engine:          eng,
 		Intervals:       *ivals,
 		IntervalPeriod:  *ivPeriod,
+		Ctx:             ctx,
+		Partial:         *partial,
+		Paranoia:        *paranoia,
 	}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
@@ -172,6 +236,9 @@ func realMain() int {
 		rows, err := tea.Custom(machine, sets, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			if errors.Is(err, context.Canceled) {
+				return 130
+			}
 			return 1
 		}
 		title := "Custom machine point vs baseline"
@@ -194,6 +261,12 @@ func realMain() int {
 		start := time.Now()
 		if err := runExp(id, outFmt, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			if errors.Is(err, context.Canceled) {
+				if *journal != "" {
+					fmt.Fprintln(os.Stderr, "[interrupted: journal flushed; rerun with -resume to continue]")
+				}
+				return 130
+			}
 			return 1
 		}
 		// In text mode the timing line is part of the report stream (and of
@@ -212,6 +285,8 @@ func realMain() int {
 			return 1
 		}
 	}
+	ms := eng.MemoStats()
+	fmt.Fprintf(os.Stderr, "[memo: %d simulated, %d seeded, %d hits]\n", ms.Entries-ms.Seeded, ms.Seeded, ms.Hits)
 	return 0
 }
 

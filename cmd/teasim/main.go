@@ -6,6 +6,7 @@
 //	teasim -w bfs -mode tea -n 1000000
 //	teasim -w mcf -mode baseline
 //	teasim -w bfs -mode tea -speedup   # run the baseline too (in parallel)
+//	teasim -w bfs -mode tea -paranoia  # per-cycle invariant checking (slow)
 //	teasim -w bfs -mode tea -json -intervals            # machine-readable result
 //	teasim -w bfs -mode tea -trace-out trace.jsonl -trace-start 60000 -trace-end 61000
 //	teasim -w bfs -config machine.json                  # custom machine spec
@@ -18,10 +19,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -72,6 +75,7 @@ func main() {
 		noMasks  = flag.Bool("nomasks", false, "ablation: no mask combining")
 		noMem    = flag.Bool("nomem", false, "ablation: no memory dependencies")
 		noFlush  = flag.Bool("noflush", false, "ablation: disable early flushes")
+		paranoia = flag.Bool("paranoia", false, "run with the per-cycle invariant checker (slow)")
 		speedup  = flag.Bool("speedup", false, "also run the baseline and report the speedup")
 		workers  = flag.Int("workers", 0, "engine worker pool size (0 = TEASIM_WORKERS or GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "print the result as JSON (wall time goes to stderr)")
@@ -112,6 +116,7 @@ func main() {
 		NoMasks:           *noMasks,
 		NoMem:             *noMem,
 		DisableEarlyFlush: *noFlush,
+		Paranoia:          *paranoia,
 		Intervals:         *ivals,
 		IntervalPeriod:    *ivPeriod,
 		TraceStart:        *trStart,
@@ -148,10 +153,17 @@ func main() {
 		jobs = append(jobs, tea.Job{Workload: *workload,
 			Cfg: tea.Config{Mode: tea.ModeBaseline, MaxInstructions: *n, Scale: *scale}})
 	}
+	// SIGINT cancels the run cooperatively (exit 130) instead of tearing the
+	// process down mid-cycle.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
-	results, err := eng.Map(jobs)
+	results, err := eng.MapContext(ctx, jobs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if ctx.Err() != nil {
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 	el := time.Since(start)

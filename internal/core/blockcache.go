@@ -16,7 +16,8 @@ type BlockCache struct {
 	emptyWays    int
 	emptyEntries []bcTagEntry
 
-	replace bool // NoMasks: replace masks instead of OR-ing
+	replace  bool // NoMasks: replace masks instead of OR-ing
+	paranoia bool // Config.Paranoia: mask/count tripwires in Update
 
 	lruTick uint32
 
@@ -111,6 +112,7 @@ func (b *BlockCache) Update(startPC uint64, count int, mask uint32) {
 	for i := range ws {
 		e := &ws[i]
 		if e.valid && e.tag == startPC {
+			old := e.mask
 			if b.replace {
 				e.mask = mask
 			} else {
@@ -118,6 +120,12 @@ func (b *BlockCache) Update(startPC uint64, count int, mask uint32) {
 			}
 			if count > e.count {
 				e.count = count
+			}
+			if b.paranoia {
+				if !b.replace && e.mask&old != old {
+					panic("core paranoia: Block Cache merge dropped mask bits (masks must grow monotonically between resets)")
+				}
+				b.checkEntry(e)
 			}
 			e.lru = b.lruTick
 			return
@@ -129,6 +137,25 @@ func (b *BlockCache) Update(startPC uint64, count int, mask uint32) {
 		}
 	}
 	*victim = bcEntry{valid: true, tag: startPC, mask: mask, count: count, lru: b.lruTick}
+	if b.paranoia {
+		b.checkEntry(victim)
+	}
+}
+
+// checkEntry validates a data entry's mask/count consistency (paranoia):
+// a non-empty mask needs instructions to mark, and mask bits index into the
+// segment, so none may sit at or beyond count (segment masks are built with
+// bit n set only while n < count, and merging takes the max count).
+func (b *BlockCache) checkEntry(e *bcEntry) {
+	if e.mask == 0 {
+		return
+	}
+	if e.count <= 0 {
+		panic("core paranoia: Block Cache entry has chain mask but zero instruction count")
+	}
+	if e.count < 32 && e.mask>>uint(e.count) != 0 {
+		panic("core paranoia: Block Cache mask marks instructions beyond the segment")
+	}
 }
 
 // Lookup probes both stores for a segment starting at pc.

@@ -68,6 +68,14 @@ type Config struct {
 	NoMasks           bool // no mask combining; walks seed only at H2P branches
 	NoMem             bool // ignore memory dependencies in the walk
 	DisableEarlyFlush bool // compute but never flush (prefetch-only, §V-B)
+
+	// Paranoia arms invariant tripwires inside the TEA structures (Block
+	// Cache mask/count consistency, Fill Buffer capacity, H2P counter
+	// saturation). Checks only read — results are bit-identical — and panic
+	// with a "core paranoia:" message on violation. Set by the run config
+	// (tea.Config.Paranoia), not by machine presets: checking is a property
+	// of the run, not of the simulated machine.
+	Paranoia bool
 }
 
 // DefaultConfig returns the Table II TEA thread configuration.

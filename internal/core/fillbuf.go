@@ -23,8 +23,9 @@ type FillEntry struct {
 // is in progress, retiring instructions are discarded, so the buffer sees a
 // sampled subset of the stream — as in the paper.
 type FillBuffer struct {
-	entries []FillEntry
-	cap     int
+	entries  []FillEntry
+	cap      int
+	paranoia bool // Config.Paranoia: capacity tripwire in Add
 }
 
 // NewFillBuffer returns an empty buffer of the configured capacity.
@@ -36,7 +37,12 @@ func NewFillBuffer(capacity int) *FillBuffer {
 func (f *FillBuffer) Full() bool { return len(f.entries) >= f.cap }
 
 // Add appends a retired instruction (caller checks Full and walk state).
-func (f *FillBuffer) Add(e FillEntry) { f.entries = append(f.entries, e) }
+func (f *FillBuffer) Add(e FillEntry) {
+	if f.paranoia && len(f.entries) >= f.cap {
+		panic("core paranoia: Fill Buffer Add beyond capacity (caller missed Full)")
+	}
+	f.entries = append(f.entries, e)
+}
 
 // Reset empties the buffer for the next filling phase.
 func (f *FillBuffer) Reset() { f.entries = f.entries[:0] }

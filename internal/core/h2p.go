@@ -13,6 +13,7 @@ type H2PTable struct {
 	threshold uint8
 	entries   []h2pEntry
 	lruTick   uint32
+	paranoia  bool // Config.Paranoia: counter-saturation tripwire
 }
 
 type h2pEntry struct {
@@ -55,6 +56,9 @@ func (t *H2PTable) RecordMispredict(pc uint64) {
 	if e := t.find(pc); e != nil {
 		if e.ctr < t.max {
 			e.ctr++
+		}
+		if t.paranoia && e.ctr > t.max {
+			panic("core paranoia: H2P counter above saturation point")
 		}
 		e.lru = t.lruTick
 		return

@@ -169,6 +169,11 @@ func New(cfg Config, c *pipeline.Core) *TEA {
 		nextDecay:     cfg.H2PDecayPeriod,
 		nextMaskReset: cfg.MaskResetPeriod,
 	}
+	if cfg.Paranoia {
+		t.H2P.paranoia = true
+		t.Fill.paranoia = true
+		t.BC.paranoia = true
+	}
 	n := cfg.PRPartition
 	t.refcnt = make([]uint8, n)
 	t.valid = make([]bool, n)

@@ -99,6 +99,20 @@ type Config struct {
 	MaxInstructions uint64
 	// MaxCycles aborts a wedged simulation (0 = no limit).
 	MaxCycles uint64
+
+	// Paranoia enables the per-cycle invariant checker (paranoia.go): ROB
+	// ordering, physical-register conservation, scheduler/scoreboard
+	// consistency, completion accounting. The checker only reads — results
+	// are bit-identical — but costs an order of magnitude in speed, and the
+	// first violated invariant panics with a structural dump. For CI and
+	// debugging.
+	Paranoia bool
+
+	// Heartbeat, when non-nil, receives a progress beat at the run loop's
+	// cancellation-check boundaries (RunChecked) so an external watchdog can
+	// distinguish a slow simulation from a wedged one. Forces the checked
+	// run path even when no check function is supplied.
+	Heartbeat *telemetry.Heartbeat
 }
 
 // DefaultConfig returns the Table I baseline core.

@@ -102,6 +102,11 @@ type Core struct {
 
 	halted bool
 
+	// Paranoia-mode scratch (paranoia.go), reused across checks so the
+	// checker allocates nothing in steady state. Nil unless Cfg.Paranoia.
+	paranoiaCnt map[*Uop]int
+	paranoiaReg []uint8
+
 	Stats Stats
 
 	// Idle-cycle fast-forward metrics (see skip.go). Deliberately NOT part
@@ -267,6 +272,14 @@ func (c *Core) RunChecked(quantum uint64, check func() error) error {
 	if quantum == 0 || check == nil {
 		quantum, check = 0, nil
 	}
+	hb := c.Cfg.Heartbeat
+	if hb != nil && quantum == 0 {
+		// A heartbeat needs periodic boundaries even without a cancellation
+		// check: reuse the standard engine quantum with a no-op check so the
+		// loop below stays a single shape.
+		quantum = 50_000
+		check = func() error { return nil }
+	}
 	skip := !c.Cfg.NoIdleSkip
 	nextCheck := c.Cycle + quantum
 	// Probe backoff: idleWake is pure overhead on busy cycles, and busy
@@ -290,6 +303,9 @@ func (c *Core) RunChecked(quantum uint64, check func() error) error {
 		if quantum != 0 && c.Cycle >= nextCheck {
 			if err := check(); err != nil {
 				return err
+			}
+			if hb != nil {
+				hb.Beat(c.Cycle)
 			}
 			nextCheck = c.Cycle + quantum
 		}
@@ -325,6 +341,9 @@ func (c *Core) RunChecked(quantum uint64, check func() error) error {
 			if err := check(); err != nil {
 				return err
 			}
+			if hb != nil {
+				hb.Beat(c.Cycle)
+			}
 			nextCheck = c.Cycle + quantum
 		}
 	}
@@ -347,5 +366,8 @@ func (c *Core) Tick() error {
 	c.predict()
 	c.Cycle++
 	c.Stats.Cycles = c.Cycle
+	if c.Cfg.Paranoia {
+		c.checkInvariants()
+	}
 	return nil
 }

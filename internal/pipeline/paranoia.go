@@ -1,0 +1,320 @@
+package pipeline
+
+// Paranoia mode: a per-cycle structural invariant checker (Config.Paranoia).
+//
+// The simulator's hot paths earn their speed from redundant bookkeeping —
+// occupancy counters beside the queues they summarize, a completion heap
+// beside the completion ring, per-register waiter lists beside the PRF
+// scoreboard, lazy compaction with stamp-guarded stale references. Each pair
+// must agree every cycle; a divergence silently corrupts timing long before
+// it corrupts results. The checker re-derives every summary from the ground
+// truth each cycle and panics at the first mismatch, so a corruption is
+// caught at the cycle it happens with the machine state intact, not a
+// billion cycles later as a wedge or a subtly wrong IPC.
+//
+// The checker only reads: a paranoid run retires the same instructions in
+// the same cycles as a plain one (the paranoia suite test pins this). It
+// costs roughly an order of magnitude in wall clock, so it is opt-in —
+// wired into CI on a reduced budget (`make paranoia`) and available from
+// the CLIs as -paranoia.
+//
+// Violations panic rather than return errors: the experiment engine
+// captures panics with their stacks (PanicError), so a violation in a long
+// suite degrades to a quarantined cell with a repro bundle instead of lost
+// work, and the stack names the exact invariant.
+
+import (
+	"fmt"
+
+	"teasim/internal/isa"
+)
+
+// paranoiaRingPeriod spaces the O(ring) completion-ring sweep; the O(1)
+// heap-vs-counter check still runs every cycle.
+const paranoiaRingPeriod = 4096
+
+// paranoiac panics with a cycle-stamped invariant violation.
+func (c *Core) paranoiac(format string, args ...any) {
+	panic(fmt.Sprintf("paranoia: cycle %d: %s", c.Cycle, fmt.Sprintf(format, args...)))
+}
+
+// checkInvariants validates the core's cross-structure invariants. Called at
+// the end of every Tick when Cfg.Paranoia is set (stages are quiescent: no
+// structure is mid-update at the tick boundary).
+func (c *Core) checkInvariants() {
+	c.checkROB()
+	c.checkPRF()
+	c.checkScheduler()
+	c.checkCompletions()
+	c.checkFrontend()
+}
+
+// checkROB: the reorder buffer is age-ordered with no squashed or pooled
+// entries, and the load/store occupancy counters match a ground-truth count.
+func (c *Core) checkROB() {
+	loads, stores := 0, 0
+	var prevSeq uint64
+	for i := 0; i < c.rob.len(); i++ {
+		u := c.rob.at(i)
+		if u.pooled {
+			c.paranoiac("ROB[%d] (seq %d) is pooled", i, u.Seq)
+		}
+		if u.Squashed {
+			c.paranoiac("ROB[%d] (seq %d) is squashed", i, u.Seq)
+		}
+		if i > 0 && u.Seq <= prevSeq {
+			c.paranoiac("ROB age order broken: [%d].Seq=%d after %d", i, u.Seq, prevSeq)
+		}
+		prevSeq = u.Seq
+		if u.isLoad() {
+			loads++
+		}
+		if u.isStore() {
+			stores++
+		}
+	}
+	if loads != c.lqCount {
+		c.paranoiac("lqCount=%d but ROB holds %d loads", c.lqCount, loads)
+	}
+	if stores != c.sqCount {
+		c.paranoiac("sqCount=%d but ROB holds %d stores", c.sqCount, stores)
+	}
+	if c.sq.len() != c.sqCount {
+		c.paranoiac("store queue holds %d entries, sqCount=%d", c.sq.len(), c.sqCount)
+	}
+	prevSeq = 0
+	for i := 0; i < c.sq.len(); i++ {
+		u := c.sq.at(i)
+		if !u.isStore() {
+			c.paranoiac("SQ[%d] (seq %d) is not a store", i, u.Seq)
+		}
+		if i > 0 && u.Seq <= prevSeq {
+			c.paranoiac("SQ age order broken: [%d].Seq=%d after %d", i, u.Seq, prevSeq)
+		}
+		prevSeq = u.Seq
+	}
+}
+
+// Register states for checkPRF's scratch classification.
+const (
+	regUnseen uint8 = iota
+	regFree
+	regRAT
+	regROBDest
+)
+
+// checkPRF: physical-register conservation. Main-pool registers are
+// partitioned between the free list and the allocated set, the allocated
+// set is exactly the architectural mapping plus one register per in-flight
+// destination-writing ROB entry, and no register is in two places at once.
+func (c *Core) checkPRF() {
+	p := c.PRF
+	if c.paranoiaReg == nil {
+		c.paranoiaReg = make([]uint8, len(p.Val))
+	}
+	st := c.paranoiaReg
+	clear(st)
+
+	if p.inUse+len(p.free) != p.poolLen {
+		c.paranoiac("PRF leak: inUse=%d + free=%d != pool=%d", p.inUse, len(p.free), p.poolLen)
+	}
+	for _, r := range p.free {
+		if int(r) >= p.poolLen {
+			c.paranoiac("free list holds companion register p%d (pool=%d)", r, p.poolLen)
+		}
+		if st[r] == regFree {
+			c.paranoiac("register p%d is on the free list twice", r)
+		}
+		st[r] = regFree
+	}
+	for a, r := range c.rat {
+		switch st[r] {
+		case regFree:
+			c.paranoiac("RAT[r%d] maps to freed register p%d", a, r)
+		case regRAT:
+			c.paranoiac("RAT aliases: r%d maps to p%d, already mapped", a, r)
+		}
+		st[r] = regRAT
+	}
+	dests := 0
+	for i := 0; i < c.rob.len(); i++ {
+		u := c.rob.at(i)
+		if !u.HasDest {
+			continue
+		}
+		dests++
+		if int(u.Prd) >= p.poolLen {
+			c.paranoiac("ROB seq %d destination p%d is outside the main pool", u.Seq, u.Prd)
+		}
+		if st[u.Prd] == regFree {
+			c.paranoiac("ROB seq %d destination p%d is on the free list", u.Seq, u.Prd)
+		}
+		if st[u.Prd] == regROBDest {
+			c.paranoiac("register p%d is the destination of two in-flight uops", u.Prd)
+		}
+		// The newest in-flight writer of an arch register is also its RAT
+		// mapping, so regRAT here is expected; only double-Prd is a fault.
+		if st[u.Prd] != regRAT {
+			st[u.Prd] = regROBDest
+		}
+		if st[u.PrevPrd] == regFree {
+			c.paranoiac("ROB seq %d holds freed previous mapping p%d", u.Seq, u.PrevPrd)
+		}
+	}
+	if p.inUse != isa.NumRegs+dests {
+		c.paranoiac("PRF conservation: inUse=%d, want %d arch + %d ROB dests",
+			p.inUse, isa.NumRegs, dests)
+	}
+}
+
+// checkScheduler: the wakeup/select bookkeeping. Every live RS residency is
+// registered in exactly one wakeup home (readyQ or one waiter list), no
+// waiter list sits on an already-ready register, the occupancy counters
+// match a ground-truth count of live entries, and the companion age list
+// covers every live companion entry in fetch order.
+func (c *Core) checkScheduler() {
+	if c.paranoiaCnt == nil {
+		c.paranoiaCnt = make(map[*Uop]int)
+	}
+	cnt := c.paranoiaCnt
+	clear(cnt)
+
+	liveMain, liveTEA := 0, 0
+	for i, u := range c.rs {
+		if u.rsStamp != c.rsStamps[i] || !u.InRS {
+			continue
+		}
+		if u.TEA {
+			liveTEA++
+		} else {
+			liveMain++
+		}
+		cnt[u] = 0
+	}
+	if liveMain != c.rsMainCount || liveTEA != c.rsTEACount {
+		c.paranoiac("RS occupancy: counted %d main + %d TEA live, counters say %d + %d",
+			liveMain, liveTEA, c.rsMainCount, c.rsTEACount)
+	}
+
+	refs := 0
+	for _, r := range c.readyQ {
+		if !r.live() {
+			continue
+		}
+		refs++
+		if _, ok := cnt[r.u]; !ok {
+			c.paranoiac("readyQ holds live seq %d not present in the RS list", r.u.Seq)
+		}
+		cnt[r.u]++
+	}
+	for preg, ws := range c.waiters {
+		for _, r := range ws {
+			if !r.live() {
+				continue
+			}
+			if c.PRF.Ready[preg] {
+				c.paranoiac("live seq %d waits on p%d, which is already ready (lost wakeup)",
+					r.u.Seq, preg)
+			}
+			refs++
+			if _, ok := cnt[r.u]; !ok {
+				c.paranoiac("waiters[p%d] holds live seq %d not present in the RS list", preg, r.u.Seq)
+			}
+			cnt[r.u]++
+		}
+	}
+	if refs != liveMain+liveTEA {
+		c.paranoiac("wakeup registration: %d live refs for %d live RS entries",
+			refs, liveMain+liveTEA)
+	}
+	for u, n := range cnt {
+		if n != 1 {
+			c.paranoiac("seq %d registered %d times across readyQ+waiters, want exactly 1", u.Seq, n)
+		}
+	}
+
+	teaLive := 0
+	var prevFetch uint64
+	for i := c.teaAgeHead; i < len(c.teaAge); i++ {
+		r := c.teaAge[i]
+		if !r.live() {
+			continue
+		}
+		teaLive++
+		if r.u.FetchCycle < prevFetch {
+			c.paranoiac("companion age list out of order: seq %d fetched at %d after %d",
+				r.u.Seq, r.u.FetchCycle, prevFetch)
+		}
+		prevFetch = r.u.FetchCycle
+	}
+	if teaLive != c.rsTEACount {
+		c.paranoiac("companion age list covers %d live entries, rsTEACount=%d",
+			teaLive, c.rsTEACount)
+	}
+}
+
+// checkCompletions: the completion heap mirrors the ring. The cheap
+// every-cycle checks are counter-vs-heap size and that nothing outstanding
+// is already overdue; a periodic sweep re-counts the whole ring and
+// re-verifies the heap property.
+func (c *Core) checkCompletions() {
+	if len(c.complHeap) != c.completionsPending {
+		c.paranoiac("completion heap holds %d cycles, ring counter says %d",
+			len(c.complHeap), c.completionsPending)
+	}
+	if len(c.complHeap) > 0 && c.complHeap[0] < c.Cycle {
+		c.paranoiac("completion heap top %d is overdue (missed writeback)", c.complHeap[0])
+	}
+	if c.Cycle%paranoiaRingPeriod != 0 {
+		return
+	}
+	inRing := 0
+	for slot := range c.completions {
+		for _, u := range c.completions[slot] {
+			inRing++
+			if u.DoneAt < c.Cycle {
+				c.paranoiac("ring slot %d holds seq %d due at %d, already past", slot, u.Seq, u.DoneAt)
+			}
+			if int(u.DoneAt%completionRing) != slot {
+				c.paranoiac("seq %d due at %d filed in ring slot %d", u.Seq, u.DoneAt, slot)
+			}
+		}
+	}
+	if inRing != c.completionsPending {
+		c.paranoiac("ring holds %d uops, counter says %d", inRing, c.completionsPending)
+	}
+	for i := 1; i < len(c.complHeap); i++ {
+		if parent := (i - 1) / 2; c.complHeap[i] < c.complHeap[parent] {
+			c.paranoiac("completion heap property broken at index %d", i)
+		}
+	}
+}
+
+// checkFrontend: the in-order frontend streams stay age-ordered — branch
+// records, fetched blocks, and the rename pipe.
+func (c *Core) checkFrontend() {
+	var prevSeq uint64
+	for i := 0; i < c.recList.len(); i++ {
+		r := c.recList.at(i)
+		if i > 0 && r.Seq <= prevSeq {
+			c.paranoiac("branch record list out of order: [%d].Seq=%d after %d", i, r.Seq, prevSeq)
+		}
+		prevSeq = r.Seq
+	}
+	var prevBase uint64
+	for i := 0; i < c.fetchQ.len(); i++ {
+		b := c.fetchQ.at(i)
+		if i > 0 && b.SeqBase < prevBase {
+			c.paranoiac("fetch queue out of order: [%d].SeqBase=%d after %d", i, b.SeqBase, prevBase)
+		}
+		prevBase = b.SeqBase
+	}
+	prevSeq = 0
+	for i := 0; i < c.frontQ.len(); i++ {
+		u := c.frontQ.at(i)
+		if i > 0 && u.Seq <= prevSeq {
+			c.paranoiac("frontend pipe out of order: [%d].Seq=%d after %d", i, u.Seq, prevSeq)
+		}
+		prevSeq = u.Seq
+	}
+}

@@ -18,6 +18,10 @@ type Config struct {
 	// TraceStart and TraceEnd bound the trace-event window in cycles
 	// (TraceEnd 0 = unbounded). Interval samples ignore the window.
 	TraceStart, TraceEnd uint64
+	// Heartbeat, when non-nil, is beaten at every interval sample so a
+	// watchdog can observe forward progress through the collector (the run
+	// loop's check boundaries beat it too; see pipeline.Config.Heartbeat).
+	Heartbeat *Heartbeat
 }
 
 // Collector owns one run's telemetry state: the metric registry, the
@@ -35,6 +39,8 @@ type Collector struct {
 	next   uint64 // retired-instruction count of the next sample (0 = off)
 	index  int
 
+	hb *Heartbeat
+
 	evt Event    // scratch for Emit
 	iv  Interval // scratch for BeginInterval/EmitInterval
 }
@@ -46,6 +52,7 @@ func NewCollector(cfg Config) *Collector {
 		reg:   NewRegistry(),
 		start: cfg.TraceStart,
 		end:   cfg.TraceEnd,
+		hb:    cfg.Heartbeat,
 	}
 	if c.sink == nil {
 		c.sink = NullSink{}
@@ -111,6 +118,9 @@ func (c *Collector) EmitInterval() {
 		c.iv.Metrics = append(c.iv.Metrics, Metric{Name: name, Value: c.reg.value(name)})
 	}
 	c.sink.Interval(&c.iv)
+	if c.hb != nil {
+		c.hb.Beat(c.iv.Cycle)
+	}
 	c.index++
 	c.next += c.period
 }

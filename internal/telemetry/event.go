@@ -13,6 +13,11 @@ const (
 	EvFlush
 	// EvEarlyFlush is a companion-triggered early flush (§IV-F).
 	EvEarlyFlush
+	// EvJobFailure is an experiment-harness event: one job attempt died (by
+	// panic, deadline, or hang watchdog). Emitted by the engine, not the
+	// simulated core, so Cycle/Seq are zero; Job and Err identify the cell
+	// and the failure.
+	EvJobFailure
 )
 
 // String returns the event kind's wire name.
@@ -24,6 +29,8 @@ func (k EventKind) String() string {
 		return "flush"
 	case EvEarlyFlush:
 		return "early-flush"
+	case EvJobFailure:
+		return "job-failure"
 	}
 	return "event(" + strconv.Itoa(int(k)) + ")"
 }
@@ -64,6 +71,11 @@ type Event struct {
 	ROB      int    `json:"rob,omitempty"`
 	RS       int    `json:"rs,omitempty"`
 	FQ       int    `json:"fq,omitempty"`
+
+	// Job-failure fields (EvJobFailure): the failed cell as
+	// "workload/mode@spec" and the first line of its error.
+	Job string `json:"job,omitempty"`
+	Err string `json:"err,omitempty"`
 }
 
 // Metric is one named registry sample inside an interval.

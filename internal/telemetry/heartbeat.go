@@ -1,0 +1,28 @@
+package telemetry
+
+import "sync/atomic"
+
+// Heartbeat is a cheap cross-goroutine progress signal: the simulation loop
+// publishes its cycle count at its cancellation-check boundaries, and a
+// watchdog on another goroutine reads it to distinguish "slow but advancing"
+// from "wedged". A heartbeat never influences simulated behavior — it is a
+// monotonic counter the run loop was already maintaining, exposed.
+//
+// The zero value is ready to use.
+type Heartbeat struct {
+	cycle atomic.Uint64
+	beats atomic.Uint64
+}
+
+// Beat publishes the current simulated cycle.
+func (h *Heartbeat) Beat(cycle uint64) {
+	h.cycle.Store(cycle)
+	h.beats.Add(1)
+}
+
+// Load returns the number of beats so far and the last published cycle.
+// A watchdog should key on the beat count: the cycle counter alone can
+// legitimately stand still across runs (each run restarts at cycle 0).
+func (h *Heartbeat) Load() (beats, cycle uint64) {
+	return h.beats.Load(), h.cycle.Load()
+}

@@ -16,7 +16,7 @@ import (
 // hook (if non-nil) on each.
 func stubEngine(workers int, calls *atomic.Int64, hook func(int64)) *Engine {
 	e := NewEngine(workers)
-	e.runFn = func(w string, c Config) (Result, error) {
+	e.runFn = func(_ context.Context, w string, c Config) (Result, error) {
 		n := calls.Add(1)
 		if hook != nil {
 			hook(n)
@@ -78,7 +78,7 @@ func TestMapContextStopsClaimingOnCancel(t *testing.T) {
 
 func TestMapContextErrorStillDeterministic(t *testing.T) {
 	e := NewEngine(4)
-	e.runFn = func(w string, c Config) (Result, error) {
+	e.runFn = func(_ context.Context, w string, c Config) (Result, error) {
 		if c.MaxInstructions == 3 {
 			return Result{}, errors.New("boom")
 		}

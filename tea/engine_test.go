@@ -6,6 +6,7 @@ package tea
 // exercises the pool end to end.
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -19,7 +20,7 @@ func countingEngine(workers int) (*Engine, func() map[string]int) {
 	e := NewEngine(workers)
 	var mu sync.Mutex
 	counts := map[string]int{}
-	e.runFn = func(w string, c Config) (Result, error) {
+	e.runFn = func(_ context.Context, w string, c Config) (Result, error) {
 		mu.Lock()
 		counts[fmt.Sprintf("%s/%s/%d", w, c.Mode, c.MaxInstructions)]++
 		mu.Unlock()
@@ -124,6 +125,7 @@ func TestEngineNoMemoForBehavioralConfigs(t *testing.T) {
 		{"cosim", func(c *Config) { c.CoSim = true }},
 		{"intervals", func(c *Config) { c.Intervals = true }},
 		{"noidleskip", func(c *Config) { c.DisableIdleSkip = true }},
+		{"paranoia", func(c *Config) { c.Paranoia = true }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			e, snapshot := countingEngine(2)
@@ -147,7 +149,7 @@ func TestEngineNoMemoForBehavioralConfigs(t *testing.T) {
 func TestEnginePanicCapture(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		e := NewEngine(workers)
-		e.runFn = func(w string, c Config) (Result, error) {
+		e.runFn = func(_ context.Context, w string, c Config) (Result, error) {
 			if w == "boom" {
 				panic("simulated wedge")
 			}
@@ -173,7 +175,7 @@ func TestEnginePanicCapture(t *testing.T) {
 func TestEngineDeterministicError(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		e := NewEngine(8)
-		e.runFn = func(w string, c Config) (Result, error) {
+		e.runFn = func(_ context.Context, w string, c Config) (Result, error) {
 			if strings.HasPrefix(w, "bad") {
 				return Result{}, fmt.Errorf("fault in %s", w)
 			}

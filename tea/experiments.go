@@ -24,6 +24,10 @@ type SpeedupRow struct {
 	Base     Result
 	With     Result
 	Speedup  float64
+	// Err annotates a quarantined row (ExpOptions.Partial): one of the two
+	// cells failed, so the speedup is meaningless and reports exclude the
+	// row from aggregates.
+	Err string `json:"Err,omitempty"`
 }
 
 // runSpeedups measures cycles(baseline)/cycles(mode) per workload. Every
@@ -38,19 +42,23 @@ func runSpeedups(o ExpOptions, mode Mode, modeCfg func(Config) Config) ([]Speedu
 		}
 		jobs = append(jobs, o.job(name, o.cfg(ModeBaseline)), o.job(name, cfg))
 	}
-	res, err := o.Engine.Map(jobs)
+	res, err := o.mapJobs(jobs)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]SpeedupRow, 0, len(o.Workloads))
 	for i, name := range o.Workloads {
 		base, with := res[2*i], res[2*i+1]
-		rows = append(rows, SpeedupRow{
-			Workload: name,
-			Base:     base,
-			With:     with,
-			Speedup:  float64(base.Cycles) / float64(with.Cycles),
-		})
+		row := SpeedupRow{Workload: name, Base: base, With: with}
+		switch {
+		case base.Err != "":
+			row.Err = base.Err
+		case with.Err != "":
+			row.Err = with.Err
+		case with.Cycles > 0:
+			row.Speedup = float64(base.Cycles) / float64(with.Cycles)
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -62,7 +70,7 @@ func runAll(o ExpOptions, cfg Config) ([]Result, error) {
 	for _, name := range o.Workloads {
 		jobs = append(jobs, o.job(name, cfg))
 	}
-	return o.Engine.Map(jobs)
+	return o.mapJobs(jobs)
 }
 
 // Fig5 reproduces Fig. 5: per-benchmark performance of the on-core TEA
@@ -94,6 +102,8 @@ type Fig8Row struct {
 	// shared baseline plus both modes) for benchmark alloc accounting; it
 	// is not part of the rendered reports.
 	Instructions uint64 `json:"-"`
+	// Err annotates a quarantined row (ExpOptions.Partial).
+	Err string `json:"Err,omitempty"`
 }
 
 // Fig8 reproduces Fig. 8: TEA vs Branch Runahead, with the paper's
@@ -112,14 +122,20 @@ func Fig8(o ExpOptions) ([]Fig8Row, error) {
 	}
 	rows := make([]Fig8Row, 0, len(teaRows))
 	for i := range teaRows {
-		rows = append(rows, Fig8Row{
+		row := Fig8Row{
 			Workload:   teaRows[i].Workload,
 			SimpleFlow: SimpleFlow(teaRows[i].Workload),
 			TEA:        teaRows[i].Speedup,
 			Runahead:   brRows[i].Speedup,
 			Instructions: teaRows[i].Base.Instructions +
 				teaRows[i].With.Instructions + brRows[i].With.Instructions,
-		})
+		}
+		if teaRows[i].Err != "" {
+			row.Err = teaRows[i].Err
+		} else if brRows[i].Err != "" {
+			row.Err = brRows[i].Err
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -176,6 +192,8 @@ type Fig10Row struct {
 	// Instructions is the cell's simulated instruction count for benchmark
 	// alloc accounting; not part of the rendered reports.
 	Instructions uint64 `json:"-"`
+	// Err annotates a quarantined cell (ExpOptions.Partial).
+	Err string `json:"Err,omitempty"`
 }
 
 // Fig10 reproduces Fig. 10 (accuracy, coverage, timeliness ablations). The
@@ -190,7 +208,7 @@ func Fig10(o ExpOptions) ([]Fig10Row, error) {
 			jobs = append(jobs, o.job(name, fc.Cfg(o.cfg(fc.Mode))))
 		}
 	}
-	res, err := o.Engine.Map(jobs)
+	res, err := o.mapJobs(jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -205,6 +223,7 @@ func Fig10(o ExpOptions) ([]Fig10Row, error) {
 				Coverage:     r.Coverage,
 				Saved:        r.AvgCyclesSaved,
 				Instructions: r.Instructions,
+				Err:          r.Err,
 			})
 		}
 	}

@@ -1,0 +1,139 @@
+package tea
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// JournalRecord is one completed experiment cell, keyed exactly like the
+// engine's memo cache: the workload, the mode label, the resolved machine
+// spec's fingerprint, and the run budget. Records are written as one JSON
+// line each, so a journal survives `kill -9` with at most the in-progress
+// line lost; the checksum makes a torn or bit-rotted line detectable rather
+// than silently poisoning a resumed run.
+type JournalRecord struct {
+	V        int    `json:"v"` // record format version (currently 1)
+	Workload string `json:"workload"`
+	Mode     Mode   `json:"mode"`
+	Spec     string `json:"spec"` // resolved spec fingerprint, %016x
+	MaxInstr uint64 `json:"max_instr"`
+	Scale    int    `json:"scale"`
+	Result   Result `json:"result"`
+	// Checksum is the FNV-1a 64 hash (hex) of the record's canonical JSON
+	// with this field empty.
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// journalVersion is the record format written by Append.
+const journalVersion = 1
+
+// recordChecksum computes the checksum over the record with its Checksum
+// field cleared. json.Marshal of a struct is deterministic (declaration
+// order), so the byte stream is stable across writes and reads.
+func recordChecksum(rec JournalRecord) (string, error) {
+	rec.Checksum = ""
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return strconv.FormatUint(h.Sum64(), 16), nil
+}
+
+// Journal is a crash-safe append-only results log. Every Append marshals one
+// record, writes it as a single line, and fsyncs, so a completed cell is
+// durable before the engine reports it. A Journal is safe for concurrent use
+// by the engine's worker pool.
+type Journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	buf []byte
+}
+
+// OpenJournal opens (creating if needed) a journal for appending. The same
+// path can be read first with ReadJournal to resume a killed run.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tea: open journal: %w", err)
+	}
+	return &Journal{f: f}, nil
+}
+
+// Append durably writes one record: checksum, single-line JSON, fsync.
+func (j *Journal) Append(rec JournalRecord) error {
+	rec.V = journalVersion
+	sum, err := recordChecksum(rec)
+	if err != nil {
+		return fmt.Errorf("tea: journal append: %w", err)
+	}
+	rec.Checksum = sum
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("tea: journal append: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.buf = append(j.buf[:0], line...)
+	j.buf = append(j.buf, '\n')
+	if _, err := j.f.Write(j.buf); err != nil {
+		return fmt.Errorf("tea: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("tea: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ReadJournal loads every intact record from a journal file. Records that
+// fail to parse or whose checksum does not match — a line torn by `kill -9`
+// mid-append, or later corruption — are skipped and counted in dropped, so a
+// resumed run re-simulates those cells instead of trusting them. A missing
+// file is not an error: it returns no records, matching a first run.
+func ReadJournal(path string) (recs []JournalRecord, dropped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("tea: read journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec JournalRecord
+		if json.Unmarshal(line, &rec) != nil || rec.V != journalVersion {
+			dropped++
+			continue
+		}
+		want := rec.Checksum
+		sum, cerr := recordChecksum(rec)
+		if cerr != nil || want == "" || sum != want {
+			dropped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if serr := sc.Err(); serr != nil {
+		return recs, dropped, fmt.Errorf("tea: read journal: %w", serr)
+	}
+	return recs, dropped, nil
+}

@@ -1,0 +1,172 @@
+package tea
+
+// Journal tests: the crash-safety contract is that every record that made it
+// to disk intact is recoverable, and anything torn or corrupted is dropped
+// rather than poisoning the resume.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func journalRecord(workload string, mode Mode, cycles uint64) JournalRecord {
+	return JournalRecord{
+		Workload: workload,
+		Mode:     mode,
+		Spec:     "00000000deadbeef",
+		MaxInstr: 1_000_000,
+		Scale:    1,
+		Result:   Result{Workload: workload, Mode: mode, Cycles: cycles, Instructions: 1_000_000},
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []JournalRecord{
+		journalRecord("bfs", ModeBaseline, 100),
+		journalRecord("bfs", ModeTEA, 80),
+		journalRecord("mcf", ModeBaseline, 300),
+	}
+	for _, rec := range want {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, dropped, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Errorf("dropped = %d, want 0", dropped)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		// Append stamps the version and checksum; compare the payload.
+		got[i].V, got[i].Checksum = 0, ""
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJournalDropsCorruptRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalRecord("bfs", ModeBaseline, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalRecord("mcf", ModeTEA, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("journal has %d lines, want 2", len(lines))
+	}
+	// Bit-flip inside the first intact record, then simulate a crash mid-
+	// append: the tail record is torn halfway through its line.
+	flipped := strings.Replace(lines[0], `"workload":"bfs"`, `"workload":"zzz"`, 1)
+	if flipped == lines[0] {
+		t.Fatal("corruption substitution found nothing to replace")
+	}
+	torn := lines[1][:len(lines[1])/2]
+	garbage := "not json at all\n" + `{"v":99}` + "\n"
+	if err := os.WriteFile(path, []byte(flipped+garbage+torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, dropped, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("recovered %d records from an all-corrupt journal, want 0", len(got))
+	}
+	// flipped (checksum mismatch) + garbage + wrong version + torn tail.
+	if dropped != 4 {
+		t.Errorf("dropped = %d, want 4", dropped)
+	}
+}
+
+func TestJournalSurvivesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalRecord("bfs", ModeBaseline, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalRecord("mcf", ModeTEA, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL mid-append: truncate inside the last record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, dropped, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Workload != "bfs" {
+		t.Fatalf("got %d records (%v), want just the intact bfs record", len(got), got)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestReadJournalMissingFile(t *testing.T) {
+	recs, dropped, err := ReadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || recs != nil || dropped != 0 {
+		t.Fatalf("missing journal: got (%v, %d, %v), want (nil, 0, nil)", recs, dropped, err)
+	}
+}
+
+func TestSeedJournalSkipsBadAndDuplicateRecords(t *testing.T) {
+	e := NewEngine(1)
+	recs := []JournalRecord{
+		journalRecord("bfs", ModeBaseline, 100),
+		journalRecord("bfs", ModeBaseline, 999), // duplicate key: first wins
+		{Workload: "mcf", Mode: ModeTEA, Spec: "not-hex", MaxInstr: 1, Scale: 1},
+		journalRecord("mcf", ModeTEA, 200),
+	}
+	if n := e.SeedJournal(recs); n != 2 {
+		t.Fatalf("seeded %d entries, want 2", n)
+	}
+	ms := e.MemoStats()
+	if ms.Entries != 2 || ms.Seeded != 2 {
+		t.Errorf("MemoStats = %+v, want 2 entries, 2 seeded", ms)
+	}
+}

@@ -1,6 +1,9 @@
 package tea
 
-import "io"
+import (
+	"context"
+	"io"
+)
 
 // ExpOptions scopes an experiment reproduction run. The zero value selects
 // every default, so experiments accept a struct literal setting only what
@@ -33,6 +36,18 @@ type ExpOptions struct {
 	// cell (nil return = no trace for that cell). Cells run concurrently, so
 	// the factory must hand every cell its own writer.
 	TraceOut func(workload string, mode Mode) io.Writer
+
+	// Ctx cancels the experiment cooperatively (nil = context.Background()):
+	// completed cells keep their results, in-flight cells finish, and the
+	// experiment returns the context's error with whatever rows it built.
+	Ctx context.Context
+	// Partial degrades a failing cell to an annotated error row (Result.Err)
+	// instead of aborting the experiment — quarantine semantics for long
+	// suites where one corrupt cell should not cost the other results.
+	Partial bool
+	// Paranoia runs every cell with the per-cycle invariant checker
+	// (Config.Paranoia): slower, never memoized, bit-identical results.
+	Paranoia bool
 }
 
 // ExpOption mutates ExpOptions in DefaultExpOptions.
@@ -92,6 +107,22 @@ func WithTraceOut(fn func(workload string, mode Mode) io.Writer) ExpOption {
 	return func(o *ExpOptions) { o.TraceOut = fn }
 }
 
+// WithContext cancels the experiment cooperatively through ctx.
+func WithContext(ctx context.Context) ExpOption {
+	return func(o *ExpOptions) { o.Ctx = ctx }
+}
+
+// WithPartial degrades failing cells to annotated error rows instead of
+// aborting the experiment.
+func WithPartial() ExpOption {
+	return func(o *ExpOptions) { o.Partial = true }
+}
+
+// WithParanoia runs every cell with the per-cycle invariant checker.
+func WithParanoia() ExpOption {
+	return func(o *ExpOptions) { o.Paranoia = true }
+}
+
 // fill resolves defaults for the struct-literal path (DefaultExpOptions
 // resolves everything but the engine up front; a literal may leave any
 // field zero).
@@ -113,7 +144,7 @@ func (o ExpOptions) fill() ExpOptions {
 
 // cfg builds one cell's simulation config.
 func (o ExpOptions) cfg(mode Mode) Config {
-	c := Config{Mode: mode, MaxInstructions: o.MaxInstructions, Scale: o.Scale}
+	c := Config{Mode: mode, MaxInstructions: o.MaxInstructions, Scale: o.Scale, Paranoia: o.Paranoia}
 	if o.Intervals {
 		c.Intervals = true
 		c.IntervalPeriod = o.IntervalPeriod
@@ -127,4 +158,34 @@ func (o ExpOptions) job(name string, cfg Config) Job {
 		cfg.TraceTo = o.TraceOut(name, cfg.Mode)
 	}
 	return Job{name, cfg}
+}
+
+// mapJobs dispatches an experiment's jobs under the options' context and
+// failure semantics. Without Partial it behaves exactly like Engine.Map:
+// the first (lowest-index) failure aborts with an error. With Partial,
+// failing cells come back as zero Results annotated with Err, so the
+// experiment still renders every healthy row; only context cancellation is
+// an error.
+func (o ExpOptions) mapJobs(jobs []Job) ([]Result, error) {
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !o.Partial {
+		return o.Engine.MapContext(ctx, jobs)
+	}
+	results, errs, err := o.Engine.MapPartial(ctx, jobs)
+	if err != nil {
+		return results, err
+	}
+	for i, jerr := range errs {
+		if jerr != nil {
+			results[i] = Result{
+				Workload: jobs[i].Workload,
+				Mode:     jobs[i].Cfg.Mode,
+				Err:      firstLine(jerr.Error()),
+			}
+		}
+	}
+	return results, nil
 }

@@ -113,6 +113,22 @@ func (r report) write(w io.Writer, f Format) error {
 // pct formats a signed percentage delta from a ratio (1.0 -> "+0.0%").
 func pct(ratio float64) string { return fmt.Sprintf("%+.1f%%", 100*(ratio-1)) }
 
+// errRow formats a quarantined row (ExpOptions.Partial): the leading
+// identity cells, then an ERROR annotation in place of the metrics, padded
+// to the report width. Reports exclude such rows from their aggregate
+// footers — a geomean over quarantined zeros would be meaningless.
+func errRow(lead []string, errMsg string, width int) []string {
+	const maxErr = 60
+	if len(errMsg) > maxErr {
+		errMsg = errMsg[:maxErr-3] + "..."
+	}
+	row := append(lead, "ERROR: "+errMsg)
+	for len(row) < width {
+		row = append(row, "")
+	}
+	return row
+}
+
 func speedupsReport(title string, rows []SpeedupRow) report {
 	r := report{
 		title:  title,
@@ -121,6 +137,10 @@ func speedupsReport(title string, rows []SpeedupRow) report {
 	}
 	var sp []float64
 	for _, row := range rows {
+		if row.Err != "" {
+			r.rows = append(r.rows, errRow([]string{row.Workload}, row.Err, len(r.header)))
+			continue
+		}
 		r.rows = append(r.rows, []string{
 			row.Workload,
 			fmt.Sprintf("%d", row.Base.Cycles),
@@ -152,6 +172,10 @@ func fig6Report(rows []Result) report {
 		data:   rows,
 	}
 	for _, row := range rows {
+		if row.Err != "" {
+			r.rows = append(r.rows, errRow([]string{row.Workload}, row.Err, len(r.header)))
+			continue
+		}
 		r.rows = append(r.rows, []string{
 			row.Workload,
 			fmt.Sprintf("%.1f", row.MPKI),
@@ -180,6 +204,10 @@ func fig7Report(rows []Result) report {
 	}
 	var cov, acc []float64
 	for _, row := range rows {
+		if row.Err != "" {
+			r.rows = append(r.rows, errRow([]string{row.Workload}, row.Err, len(r.header)))
+			continue
+		}
 		r.rows = append(r.rows, []string{
 			row.Workload,
 			fmt.Sprintf("%d", row.Covered),
@@ -221,6 +249,10 @@ func fig8Report(rows []Fig8Row) report {
 		if row.SimpleFlow {
 			flow = "simple"
 		}
+		if row.Err != "" {
+			r.rows = append(r.rows, errRow([]string{row.Workload, flow}, row.Err, len(r.header)))
+			continue
+		}
 		r.rows = append(r.rows, []string{row.Workload, flow, pct(row.TEA), pct(row.Runahead)})
 		teaAll = append(teaAll, row.TEA)
 		brAll = append(brAll, row.Runahead)
@@ -258,6 +290,10 @@ func fig10Report(rows []Fig10Row) report {
 	for _, row := range rows {
 		if _, seen := agg[row.Config]; !seen {
 			order = append(order, row.Config)
+		}
+		if row.Err != "" {
+			r.rows = append(r.rows, errRow([]string{row.Config, row.Workload}, row.Err, len(r.header)))
+			continue
 		}
 		agg[row.Config] = append(agg[row.Config], row)
 		r.rows = append(r.rows, []string{
@@ -298,6 +334,10 @@ func table3Report(rows []Result) report {
 	}
 	var ov []float64
 	for _, row := range rows {
+		if row.Err != "" {
+			r.rows = append(r.rows, errRow([]string{row.Workload}, row.Err, len(r.header)))
+			continue
+		}
 		r.rows = append(r.rows, []string{row.Workload, fmt.Sprintf("+%.1f%%", row.UopOverheadPct)})
 		ov = append(ov, row.UopOverheadPct)
 	}
@@ -322,6 +362,15 @@ func sensitivityReport(p SensParam, rows []SensRow) report {
 	byValue := map[int][]float64{}
 	var order []int
 	for _, row := range rows {
+		if _, seen := byValue[row.Value]; !seen {
+			order = append(order, row.Value)
+			byValue[row.Value] = nil
+		}
+		if row.Err != "" {
+			r.rows = append(r.rows, errRow(
+				[]string{row.Workload, fmt.Sprintf("%d", row.Value)}, row.Err, len(r.header)))
+			continue
+		}
 		r.rows = append(r.rows, []string{
 			row.Workload,
 			fmt.Sprintf("%d", row.Value),
@@ -329,9 +378,6 @@ func sensitivityReport(p SensParam, rows []SensRow) report {
 			fmt.Sprintf("%.0f%%", 100*row.Coverage),
 			fmt.Sprintf("%.1f%%", 100*row.Accuracy),
 		})
-		if _, seen := byValue[row.Value]; !seen {
-			order = append(order, row.Value)
-		}
 		byValue[row.Value] = append(byValue[row.Value], row.Speedup)
 	}
 	for _, v := range order {

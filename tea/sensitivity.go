@@ -17,6 +17,8 @@ type SensRow struct {
 	// workload's shared baseline is folded into its first row) for
 	// benchmark alloc accounting; not part of the rendered reports.
 	Instructions uint64 `json:"-"`
+	// Err annotates a quarantined sweep point (ExpOptions.Partial).
+	Err string `json:"Err,omitempty"`
 }
 
 // SensParam identifies a sweepable TEA/core structure.
@@ -100,7 +102,7 @@ func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) 
 			jobs = append(jobs, opts.job(name, cfg))
 		}
 	}
-	res, err := opts.Engine.Map(jobs)
+	res, err := opts.mapJobs(jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -113,14 +115,22 @@ func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) 
 			if j == 0 {
 				instrs += base.Instructions
 			}
-			rows = append(rows, SensRow{
+			row := SensRow{
 				Workload:     name,
 				Value:        v,
-				Speedup:      float64(base.Cycles) / float64(r.Cycles),
 				Coverage:     r.Coverage,
 				Accuracy:     r.Accuracy,
 				Instructions: instrs,
-			})
+			}
+			switch {
+			case base.Err != "":
+				row.Err = base.Err
+			case r.Err != "":
+				row.Err = r.Err
+			case r.Cycles > 0:
+				row.Speedup = float64(base.Cycles) / float64(r.Cycles)
+			}
+			rows = append(rows, row)
 		}
 	}
 	return rows, nil

@@ -95,6 +95,22 @@ type Config struct {
 	TraceTo        io.Writer
 	TraceStart     uint64
 	TraceEnd       uint64
+
+	// Paranoia enables per-cycle invariant checking inside the pipeline and
+	// the TEA companion structures (DESIGN.md "Failure handling"): ROB age
+	// ordering, physical-register conservation, scheduler/scoreboard
+	// consistency, completion accounting, and Block Cache mask monotonicity.
+	// A paranoid run produces bit-identical results — the checker only reads
+	// — but is much slower and panics at the first violated invariant, so it
+	// exists for CI and debugging. Paranoid runs are never memoized: the
+	// caller wants the checking, not just the numbers.
+	Paranoia bool
+	// Heartbeat, when non-nil, receives a progress beat every runQuantum
+	// simulated cycles (and at every telemetry interval sample), letting a
+	// watchdog on another goroutine distinguish a slow run from a wedged one.
+	// The engine's hang watchdog (JobPolicy.HangTimeout) installs its own;
+	// set this only when driving RunContext directly.
+	Heartbeat *telemetry.Heartbeat
 }
 
 // Observational reports whether the run carries observation-only
@@ -108,12 +124,13 @@ func (c Config) Observational() bool {
 
 // Memoizable reports whether an Engine may serve this run from its result
 // cache: the run must not be observational (the caller wants the
-// observation, not just the numbers), must not co-simulate (the caller
-// wants the checking), and must not disable the idle skip (the point of
-// such a run is exercising the unskipped path). Memoizable runs are keyed
-// by (workload, mode, spec fingerprint, budget, scale) — see Engine.
+// observation, not just the numbers), must not co-simulate or check
+// invariants (the caller wants the checking), and must not disable the
+// idle skip (the point of such a run is exercising the unskipped path).
+// Memoizable runs are keyed by (workload, mode, spec fingerprint, budget,
+// scale) — see Engine.
 func (c Config) Memoizable() bool {
-	return !c.Observational() && !c.CoSim && !c.DisableIdleSkip
+	return !c.Observational() && !c.CoSim && !c.DisableIdleSkip && !c.Paranoia
 }
 
 // Result reports one run's performance and precomputation metrics. It
@@ -154,6 +171,12 @@ type Result struct {
 	// Intervals holds the per-interval time series when Config.Intervals
 	// was set (nil otherwise).
 	Intervals []IntervalSample `json:"intervals,omitempty"`
+
+	// Err annotates a cell that failed under quarantine semantics
+	// (Engine.MapPartial / teaexp -partial): the first line of the job's
+	// error, with every metric zero. Empty for successful runs, so existing
+	// goldens and JSON consumers are unaffected.
+	Err string `json:"error,omitempty"`
 }
 
 // IntervalSample is one point of a run's time series, sampled every
@@ -235,6 +258,8 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 	pcfg.NoIdleSkip = cfg.DisableIdleSkip
 	pcfg.MaxInstructions = cfg.MaxInstructions
 	pcfg.MaxCycles = 400_000_000
+	pcfg.Paranoia = cfg.Paranoia
+	pcfg.Heartbeat = cfg.Heartbeat
 
 	// Telemetry: an interval-collecting ring and/or a JSONL event stream.
 	var ring *telemetry.RingSink
@@ -252,6 +277,7 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 			IntervalPeriod: cfg.IntervalPeriod,
 			TraceStart:     cfg.TraceStart,
 			TraceEnd:       cfg.TraceEnd,
+			Heartbeat:      cfg.Heartbeat,
 		}
 		if cfg.TraceTo == nil {
 			// Intervals without a trace stream: push the trace window past
@@ -267,13 +293,17 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 	var br *runahead.BR
 	switch machine.Companion.Kind {
 	case spec.CompanionTEA:
-		teaThread = core.New(teaConfig(machine.Companion.TEA), c)
+		tcfg := teaConfig(machine.Companion.TEA)
+		// Paranoia is behavioral, not a machine property, so it rides on the
+		// run config rather than the spec tree.
+		tcfg.Paranoia = cfg.Paranoia
+		teaThread = core.New(tcfg, c)
 	case spec.CompanionRunahead:
 		br = runahead.New(runaheadConfig(machine.Companion.Runahead), c)
 	}
 
 	var runErr error
-	if ctx.Done() == nil {
+	if ctx.Done() == nil && cfg.Heartbeat == nil {
 		runErr = c.Run()
 	} else {
 		runErr = c.RunChecked(runQuantum, func() error { return ctx.Err() })

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 tier2 lint race bench bench-smoke bench-experiments paranoia fuzz-smoke profile-cpu profile-mem clean
+.PHONY: all build test tier1 tier2 lint race bench bench-smoke bench-compare bench-experiments paranoia fuzz-smoke profile-cpu profile-mem clean
 
 all: tier1
 
@@ -40,13 +40,23 @@ bench-experiments:
 	$(GO) test -bench 'Fig10|Fig5' -benchtime=1x -run XXX
 
 # Quick throughput/allocation health check, summarized as JSON (CI runs this;
-# BENCH_PR3.json in the repo root is a committed reference snapshot).
+# BENCH_PR3.json and BENCH_PR6.json in the repo root are committed reference
+# snapshots).
 BENCH_SMOKE_OUT ?= bench-smoke.json
 bench-smoke:
 	$(GO) test -bench 'SimulatorThroughput|Fig8VsRunahead' -benchtime=1x -run XXX . \
 		| tee /dev/stderr \
 		| $(GO) run ./internal/tools/benchjson -o $(BENCH_SMOKE_OUT)
 	@echo "wrote $(BENCH_SMOKE_OUT)"
+
+# Regression gate: run the smoke benchmarks and fail if sim-instrs/s dropped
+# more than MAX_REGRESS percent against the committed baseline. CI runs this
+# after bench-smoke; run it locally before sending perf-sensitive changes.
+BENCH_BASELINE ?= BENCH_PR6.json
+MAX_REGRESS ?= 10
+bench-compare: bench-smoke
+	$(GO) run ./internal/tools/benchjson -compare -max-regress $(MAX_REGRESS) \
+		$(BENCH_BASELINE) $(BENCH_SMOKE_OUT)
 
 # Paranoia suite: the full workload × mode matrix with the per-cycle
 # invariant checker armed (see internal/pipeline/paranoia.go), asserting

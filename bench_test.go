@@ -160,10 +160,13 @@ func BenchmarkFig7Coverage(b *testing.B) {
 }
 
 // BenchmarkFig8VsRunahead regenerates Fig. 8: TEA vs Branch Runahead
-// (paper: 10.1% vs 7.3%). Reported metrics: both geomeans.
+// (paper: 10.1% vs 7.3%). Reported metrics: both geomeans, plus simulated
+// instructions per second so the regression gate covers a multi-mode
+// experiment (Fig8 runs baseline, TEA, and runahead configs back to back).
 func BenchmarkFig8VsRunahead(b *testing.B) {
 	m := startAllocMeter(b)
 	n := benchBudget(150_000)
+	var instrs uint64
 	for i := 0; i < b.N; i++ {
 		rows, err := tea.Fig8(opts(n))
 		if err != nil {
@@ -172,6 +175,7 @@ func BenchmarkFig8VsRunahead(b *testing.B) {
 		var teaSp, brSp []float64
 		for _, r := range rows {
 			m.add(r.Instructions)
+			instrs += r.Instructions
 			teaSp = append(teaSp, r.TEA)
 			brSp = append(brSp, r.Runahead)
 		}
@@ -182,6 +186,9 @@ func BenchmarkFig8VsRunahead(b *testing.B) {
 			tea.PrintFig8(&sb, rows)
 			b.Log("\n" + sb.String())
 		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(instrs)/sec, "sim-instrs/s")
 	}
 	m.report(b)
 }

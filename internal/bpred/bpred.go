@@ -143,7 +143,9 @@ func (p *Predictor) Predict(pc uint64) Pred {
 // PredictInto is Predict writing into caller-owned storage (the in-flight
 // branch queue entry), avoiding a large struct copy per branch.
 func (p *Predictor) PredictInto(pc uint64, pred *Pred) {
-	*pred = Pred{PC: pc, Snap: Snapshot{Hist: p.Hist.Save(), RAS: p.RAS.Save()}}
+	*pred = Pred{PC: pc}
+	p.Hist.SaveInto(&pred.Snap.Hist)
+	pred.Snap.RAS = p.RAS.Save()
 	target, kind, isCall, hit := p.BTB.Lookup(pc)
 	if !hit {
 		return

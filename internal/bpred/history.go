@@ -21,10 +21,12 @@ type folded struct {
 	compLen  uint32
 	origLen  uint32
 	outPoint uint32 // origLen % compLen
+	mask     uint32 // 1<<compLen - 1
 }
 
 func newFolded(origLen, compLen uint32) folded {
-	return folded{compLen: compLen, origLen: origLen, outPoint: origLen % compLen}
+	return folded{compLen: compLen, origLen: origLen,
+		outPoint: origLen % compLen, mask: 1<<compLen - 1}
 }
 
 // update shifts in newBit and removes oldBit (the bit that just moved past
@@ -33,7 +35,7 @@ func (f *folded) update(newBit, oldBit uint32) {
 	f.comp = (f.comp << 1) | newBit
 	f.comp ^= oldBit << f.outPoint
 	f.comp ^= f.comp >> f.compLen
-	f.comp &= (1 << f.compLen) - 1
+	f.comp &= f.mask
 }
 
 // History is the speculative global branch history: a circular bit buffer
@@ -83,9 +85,15 @@ func (h *History) Push(bit bool) {
 	}
 	h.setBit(h.ptr&(historyBits-1), nb)
 	h.ptr = (h.ptr + 1) & (historyBits - 1)
+	// Folds registered back to back share origLen (TAGE makes three views of
+	// each table's history, ITTAGE two); fetch the outgoing bit once per run.
+	lastLen, ob := ^uint32(0), uint32(0)
 	for i := range h.folds {
 		f := &h.folds[i]
-		ob := h.bitAt(f.origLen)
+		if f.origLen != lastLen {
+			lastLen = f.origLen
+			ob = h.bitAt(lastLen)
+		}
 		f.update(nb, ob)
 	}
 }
@@ -113,11 +121,18 @@ type Checkpoint struct {
 // Save captures the current history state. The checkpoint stays valid until
 // more than historyBits bits have been pushed past it.
 func (h *History) Save() Checkpoint {
-	c := Checkpoint{ptr: h.ptr, path: h.path, n: int32(len(h.folds))}
+	var c Checkpoint
+	h.SaveInto(&c)
+	return c
+}
+
+// SaveInto is Save writing into caller-owned (zeroed) storage, avoiding a
+// Checkpoint-sized temporary copy on the per-branch hot path.
+func (h *History) SaveInto(c *Checkpoint) {
+	c.ptr, c.path, c.n = h.ptr, h.path, int32(len(h.folds))
 	for i := range h.folds {
 		c.comps[i] = h.folds[i].comp
 	}
-	return c
 }
 
 // Restore rewinds the history to a previously saved checkpoint.

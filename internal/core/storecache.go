@@ -64,13 +64,19 @@ func (s *StoreCache) line(addr uint64, alloc bool) *scLine {
 }
 
 // Write buffers size bytes of v at addr. Writes crossing a half-line
-// boundary are split.
+// boundary are split. The line is resolved once per half-line touched, not
+// per byte — byte runs within a half-line hit the same line by definition.
 func (s *StoreCache) Write(addr uint64, v uint64, size int) {
 	s.Writes++
 	s.lruTick++
+	base := addr &^ (halfLine - 1)
+	l := s.line(addr, true)
 	for i := 0; i < size; i++ {
 		a := addr + uint64(i)
-		l := s.line(a, true)
+		if b := a &^ (halfLine - 1); b != base {
+			base = b
+			l = s.line(a, true)
+		}
 		off := a & (halfLine - 1)
 		l.data[off] = byte(v >> (8 * i))
 		l.mask |= 1 << off
@@ -83,9 +89,14 @@ func (s *StoreCache) Write(addr uint64, v uint64, size int) {
 func (s *StoreCache) Read(addr uint64, size int) (v uint64, ok bool) {
 	s.lruTick++
 	covered := 0
+	// base starts unaligned so the first byte always resolves its line.
+	base, l := uint64(1), (*scLine)(nil)
 	for i := 0; i < size; i++ {
 		a := addr + uint64(i)
-		l := s.line(a, false)
+		if b := a &^ (halfLine - 1); b != base {
+			base = b
+			l = s.line(a, false)
+		}
 		if l == nil {
 			continue
 		}

@@ -69,6 +69,8 @@ type TEA struct {
 	valid     []bool
 	pendWrite []bool
 	allocated []bool
+	// keptScratch is unmapTEARegs's per-flush keep mask, reused across calls.
+	keptScratch []bool
 
 	// TEA frontend pipe (fetched chain uops awaiting shadow rename) and
 	// in-flight inserted uops (for squash/drain accounting). frontQ pops by
@@ -470,8 +472,14 @@ func (t *TEA) OnFlush(seq uint64, branchRenamed bool) {
 
 // unmapTEARegs invalidates all TEA-pool registers except those still mapped
 // by keep (a restored shadow RAT checkpoint), then frees the releasable ones.
+// The kept scratch is reused across flushes (this runs on every flush; a
+// fresh slice per call was ~10% of the simulator's steady-state allocations).
 func (t *TEA) unmapTEARegs(keep *[isa.NumRegs]uint16) {
-	kept := make([]bool, len(t.valid))
+	if cap(t.keptScratch) < len(t.valid) {
+		t.keptScratch = make([]bool, len(t.valid))
+	}
+	kept := t.keptScratch[:len(t.valid)]
+	clear(kept)
 	if keep != nil {
 		for _, p := range keep {
 			if t.isTEAPR(p) {
@@ -700,15 +708,15 @@ func (t *TEA) fetchChainUops() {
 
 func (t *TEA) fetchUop(blk *pipeline.FetchBlock, idx int) {
 	pc := blk.StartPC + uint64(idx)*isa.InstBytes
-	in := t.core.Prog.InstAt(pc)
-	if in == nil {
+	in, cls, ok := t.core.InstMeta(pc)
+	if !ok {
 		return
 	}
 	u := t.core.NewCompanionUop()
 	u.Seq = blk.SeqBase + uint64(idx)
 	u.PC = pc
 	u.In = in
-	u.Cls = in.Class()
+	u.Cls = cls
 	u.TEA = true
 	u.FetchCycle = t.core.Cycle
 	if in.IsBranch() {

@@ -200,6 +200,14 @@ func (m *Machine) Step() (Step, error) {
 	case isa.OpSt, isa.OpSt4, isa.OpSt1:
 		addr := rs1 + uint64(in.Imm)
 		sz := in.MemBytes()
+		// Self-modifying code is unsupported: the pipeline's decoded-block
+		// cache is built once per program (see emu.Predecode), so a store
+		// into the code segment is a hard error here too, keeping the golden
+		// model's contract aligned with the pipeline's.
+		if addr < m.Prog.CodeEnd() && addr+uint64(sz) > m.Prog.CodeBase {
+			return s, fmt.Errorf("emu: self-modifying store at PC 0x%x into code segment [0x%x,0x%x)",
+				m.PC, m.Prog.CodeBase, m.Prog.CodeEnd())
+		}
 		m.Mem.Write(addr, rs2, sz)
 		s.IsStore, s.MemAddr, s.MemSize, s.MemVal = true, addr, sz, rs2
 

@@ -1,0 +1,106 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+
+	"teasim/internal/asm"
+	"teasim/internal/isa"
+)
+
+func buildPredecodeProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := asm.NewBuilder()
+	b.Li(isa.R1, 0)               // 0
+	b.Li(isa.R2, 1)               // 1
+	b.Li(isa.R3, 4)               // 2
+	b.Label("loop")               //
+	b.Add(isa.R1, isa.R1, isa.R2) // 3
+	b.AddI(isa.R2, isa.R2, 1)     // 4
+	b.Bge(isa.R3, isa.R2, "loop") // 5: branch
+	b.Jmp("end")                  // 6: branch
+	b.Nop()                       // 7 (never reached)
+	b.Label("end")
+	b.Halt() // 8
+	return b.MustBuild()
+}
+
+func TestPredecodeTemplatesMatchDecode(t *testing.T) {
+	p := buildPredecodeProg(t)
+	d := Predecode(p)
+	if len(d.Tmpl) != len(p.Code) || len(d.NextBr) != len(p.Code) {
+		t.Fatalf("predecode sized %d/%d templates for %d instructions",
+			len(d.Tmpl), len(d.NextBr), len(p.Code))
+	}
+	for i := range p.Code {
+		in := &p.Code[i]
+		tm := d.Tmpl[i]
+		if tm.In != in {
+			t.Fatalf("template %d points at the wrong instruction", i)
+		}
+		if tm.Cls != in.Class() || tm.IsBr != in.IsBranch() ||
+			tm.IsCond != in.IsCondBranch() || tm.IsHalt != (in.Op == isa.OpHalt) ||
+			int(tm.MemBytes) != in.MemBytes() {
+			t.Fatalf("template %d (%v) diverges from live decode", i, in)
+		}
+		if want := in.HasDest() && in.Rd != isa.R0; tm.DestValid != want {
+			t.Fatalf("template %d DestValid=%v, want %v", i, tm.DestValid, want)
+		}
+	}
+}
+
+func TestPredecodeNextBr(t *testing.T) {
+	p := buildPredecodeProg(t)
+	d := Predecode(p)
+	// Ground truth: first branch-or-halt at or after i, by direct scan.
+	for i := range p.Code {
+		want := len(p.Code)
+		for j := i; j < len(p.Code); j++ {
+			if p.Code[j].IsBranch() || p.Code[j].Op == isa.OpHalt {
+				want = j
+				break
+			}
+		}
+		if int(d.NextBr[i]) != want {
+			t.Fatalf("NextBr[%d] = %d, want %d", i, d.NextBr[i], want)
+		}
+	}
+}
+
+func TestPredecodeIndex(t *testing.T) {
+	p := buildPredecodeProg(t)
+	d := Predecode(p)
+	for i := range p.Code {
+		pc := p.CodeBase + uint64(i)*isa.InstBytes
+		idx, ok := d.Index(pc)
+		if !ok || idx != i {
+			t.Fatalf("Index(%#x) = %d,%v, want %d,true", pc, idx, ok, i)
+		}
+	}
+	for _, pc := range []uint64{
+		p.CodeBase - isa.InstBytes, // below the segment
+		p.CodeEnd(),                // one past the end
+		p.CodeBase + 1,             // misaligned
+		0,
+	} {
+		if _, ok := d.Index(pc); ok {
+			t.Fatalf("Index(%#x) accepted an invalid PC", pc)
+		}
+	}
+}
+
+func TestGoldenModelRejectsSelfModifyingStore(t *testing.T) {
+	b := asm.NewBuilder()
+	b.LiU(isa.R1, asm.DefaultCodeBase)
+	b.Li(isa.R2, 1)
+	b.St(isa.R1, 0, isa.R2)
+	b.Halt()
+	m := New(b.MustBuild())
+	var err error
+	for i := 0; i < 10 && err == nil && !m.Halted; i++ {
+		_, err = m.Step()
+	}
+	if err == nil || !strings.Contains(err.Error(), "self-modifying") {
+		t.Fatalf("store into the code segment did not error: %v", err)
+	}
+}

@@ -45,11 +45,14 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 
 // access performs a load-type access through l1 → LLC → DRAM. ok=false means
 // the access could not be accepted this cycle (L1 MSHRs full) and must retry.
+// A rejected access mutates nothing — no counters, LRU, MSHRs, or DRAM state
+// — so a retry loop is free to skip guaranteed-rejected probes (the core's
+// MSHR-full load parking relies on this); hit/miss counters count accepted
+// accesses once, not per retry attempt.
 func (h *Hierarchy) access(l1 *Cache, addr uint64, now uint64, dirty bool) (AccessResult, bool) {
 	line := LineOf(addr)
-	l1.Accesses++
-
 	if l := l1.lookup(line); l != nil {
+		l1.Accesses++
 		l1.touch(l)
 		if dirty {
 			l.dirty = true
@@ -66,13 +69,12 @@ func (h *Hierarchy) access(l1 *Cache, addr uint64, now uint64, dirty bool) (Acce
 	if !l1.mshrAvailable(now) {
 		return AccessResult{}, false
 	}
-	l1.Misses++
 	res := AccessResult{}
 
 	// LLC lookup.
-	h.LLC.Accesses++
 	var fillReady uint64
 	if l := h.LLC.lookup(line); l != nil {
+		h.LLC.Accesses++
 		h.LLC.touch(l)
 		fillReady = now + l1.hitLat + h.LLC.hitLat
 		if l.readyAt > now && l.readyAt+l1.hitLat > fillReady {
@@ -80,16 +82,19 @@ func (h *Hierarchy) access(l1 *Cache, addr uint64, now uint64, dirty bool) (Acce
 		}
 		res.HitLLC = true
 	} else {
-		h.LLC.Misses++
 		if !h.LLC.mshrAvailable(now) {
 			return AccessResult{}, false
 		}
+		h.LLC.Accesses++
+		h.LLC.Misses++
 		dramDone := h.DRAM.Access(now+l1.hitLat+h.LLC.hitLat, line, false)
 		fillReady = dramDone
 		res.DRAM = true
 		h.installLLC(line, dramDone, now)
 		h.LLC.noteFill(dramDone)
 	}
+	l1.Accesses++
+	l1.Misses++
 
 	h.installL1(l1, line, fillReady, now, dirty)
 	l1.noteFill(fillReady)

@@ -15,10 +15,21 @@ package pipeline
 // Companions must not retain pointers to these records across calls; they
 // copy the fields they need (the Fill Buffer does exactly that).
 
+// Pool misses are served from slabs — chunks of poolSlab objects allocated
+// at once — so a warming-up core costs a handful of allocations instead of
+// one per record. The slabs are never returned to the GC while the core
+// lives; in-flight populations are bounded by the machine's structure sizes,
+// so the steady-state footprint is too.
+const poolSlab = 256
+
 type pools struct {
 	uops   []*Uop
 	recs   []*BranchRec
 	blocks []*FetchBlock
+
+	uopSlab   []Uop
+	recSlab   []BranchRec
+	blockSlab []FetchBlock
 }
 
 func (p *pools) getUop() *Uop {
@@ -28,7 +39,12 @@ func (p *pools) getUop() *Uop {
 		*u = Uop{}
 		return u
 	}
-	return &Uop{}
+	if len(p.uopSlab) == 0 {
+		p.uopSlab = make([]Uop, poolSlab)
+	}
+	u := &p.uopSlab[0]
+	p.uopSlab = p.uopSlab[1:]
+	return u
 }
 
 func (p *pools) putUop(u *Uop) {
@@ -46,7 +62,12 @@ func (p *pools) getRec() *BranchRec {
 		*r = BranchRec{}
 		return r
 	}
-	return &BranchRec{}
+	if len(p.recSlab) == 0 {
+		p.recSlab = make([]BranchRec, poolSlab)
+	}
+	r := &p.recSlab[0]
+	p.recSlab = p.recSlab[1:]
+	return r
 }
 
 func (p *pools) putRec(r *BranchRec) {
@@ -65,7 +86,12 @@ func (p *pools) getBlock() *FetchBlock {
 		*b = FetchBlock{Branches: br}
 		return b
 	}
-	return &FetchBlock{}
+	if len(p.blockSlab) == 0 {
+		p.blockSlab = make([]FetchBlock, poolSlab)
+	}
+	b := &p.blockSlab[0]
+	p.blockSlab = p.blockSlab[1:]
+	return b
 }
 
 func (p *pools) putBlock(b *FetchBlock) {

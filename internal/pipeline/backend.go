@@ -36,16 +36,34 @@ func (c *Core) execute() {
 	// Companion uops can wait on a register whose producer vanished in a
 	// flush (the shadow RAT is only a snapshot); sweep them out instead of
 	// letting them pin RS entries forever.
-	c.sweepCompanionTimeouts()
-	cands := c.selectReady()
+	var cands []*Uop
+	if c.bitset {
+		c.sweepCompanionTimeoutsBitset()
+		cands = c.selectCandsBitset()
+	} else {
+		c.sweepCompanionTimeouts()
+		cands = c.selectCands()
+	}
 
+	if c.rsTEACount == 0 {
+		// No companion residencies ⇒ no companion candidates: both the
+		// dedicated-engine companion loop and the priority pass over TEA
+		// entries would scan cands without issuing anything. One main pass
+		// is equivalent.
+		for _, u := range cands {
+			if aluFree == 0 && fpFree == 0 && memFree == 0 {
+				break // every class is port-blocked; the rest are no-ops
+			}
+			c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
+		}
+		return
+	}
 	if c.Cfg.CompanionDedicated {
 		// Dedicated engine: companion uops draw from their own execution
 		// slots (any class); loads still contend for cache ports/MSHRs via
 		// the shared hierarchy state.
 		teaFree := c.Cfg.CompanionPorts
-		for _, r := range cands {
-			u := r.u
+		for _, u := range cands {
 			if !u.TEA || teaFree == 0 {
 				continue
 			}
@@ -58,11 +76,14 @@ func (c *Core) execute() {
 				teaFree = before // did not issue (e.g. load retry)
 			}
 		}
-		for _, r := range cands {
-			if r.u.TEA {
+		for _, u := range cands {
+			if aluFree == 0 && fpFree == 0 && memFree == 0 {
+				break // every class is port-blocked; the rest are no-ops
+			}
+			if u.TEA {
 				continue
 			}
-			c.tryIssue(r.u, &aluFree, &fpFree, &memFree, &stFree)
+			c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
 		}
 		return
 	}
@@ -71,11 +92,14 @@ func (c *Core) execute() {
 		if c.Cfg.CompanionNoPriority {
 			teaPass = pass == 1
 		}
-		for _, r := range cands {
-			if r.u.TEA != teaPass {
+		for _, u := range cands {
+			if aluFree == 0 && fpFree == 0 && memFree == 0 {
+				return // every class is port-blocked; the rest are no-ops
+			}
+			if u.TEA != teaPass {
 				continue
 			}
-			c.tryIssue(r.u, &aluFree, &fpFree, &memFree, &stFree)
+			c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
 		}
 	}
 }
@@ -146,6 +170,9 @@ func (c *Core) issueALU(u *Uop) {
 // (main thread only — TEA loads bypass the LSQ and consult the TEA store
 // data cache), then the D-cache. Returns false if the load must retry.
 func (c *Core) issueLoad(u *Uop) bool {
+	if !u.TEA && u.sqBlocked && u.sqEpoch == c.storeEpoch {
+		return false // memoized disambiguation verdict still valid
+	}
 	addr := emu.EffAddr(u.In, c.PRF.Val[u.Prs1])
 	size := u.In.MemBytes()
 	u.Addr = addr
@@ -169,7 +196,11 @@ func (c *Core) issueLoad(u *Uop) bool {
 	}
 
 	// Conservative ordering: wait until every older store in the SQ has its
-	// address; forward from the youngest containing store.
+	// address; forward from the youngest containing store. A "blocked"
+	// verdict is memoized against the SQ epoch: until a store executes,
+	// commits, or the SQ population changes, the rescan would reach the
+	// same verdict, so the per-cycle retry skips it (the probes that DO
+	// have side effects — forwards and cache accesses — are never cached).
 	var fwd *Uop
 	for i := c.sq.len() - 1; i >= 0; i-- {
 		s := c.sq.at(i)
@@ -177,6 +208,7 @@ func (c *Core) issueLoad(u *Uop) bool {
 			continue
 		}
 		if !s.Executed {
+			u.sqEpoch, u.sqBlocked = c.storeEpoch, true
 			return false // older store address unknown; retry
 		}
 		ssz := s.In.MemBytes()
@@ -187,6 +219,7 @@ func (c *Core) issueLoad(u *Uop) bool {
 			fwd = s
 			break // youngest containing store wins
 		}
+		u.sqEpoch, u.sqBlocked = c.storeEpoch, true
 		return false // partial overlap: wait until the store commits
 	}
 	if fwd != nil {
@@ -202,7 +235,20 @@ func (c *Core) issueLoad(u *Uop) bool {
 	}
 	res, ok := c.Hier.Load(addr, c.Cycle+1)
 	if !ok {
-		return false // MSHRs full
+		// MSHRs full. Memoize the earliest retry cycle that could succeed:
+		// the probe stays rejected until an outstanding L1D or LLC fill
+		// completes (a probe at cycle F sees the F-completing fill's MSHR as
+		// free, so the retry tick is F-1). The wake is conservative — the
+		// earliest fill may free the wrong level — but an early retry just
+		// re-parks; see selectCandsBitset.
+		f := c.Hier.L1D.NextFill(c.Cycle + 1)
+		if l := c.Hier.LLC.NextFill(c.Cycle + 1); l != 0 && (f == 0 || l < f) {
+			f = l
+		}
+		if f != 0 {
+			u.memWake = f - 1
+		}
+		return false
 	}
 	u.Val = c.Mem.Read(addr, size)
 	c.Stats.LoadsExecuted++
@@ -233,9 +279,15 @@ func (c *Core) scheduleDone(u *Uop, at uint64) {
 		panic("pipeline: completion beyond ring horizon")
 	}
 	slot := at % completionRing
-	c.completions[slot] = append(c.completions[slot], u)
+	u.complNext = c.complHead[slot]
+	c.complHead[slot] = u
 	c.completionsPending++
-	c.complPush(at)
+	if c.bitset {
+		c.freeSlot(u)
+		c.complMask[slot>>6] |= 1 << uint(slot&63)
+	} else {
+		c.complPush(at)
+	}
 }
 
 // complPush records a scheduled completion cycle in the min-heap mirror of
@@ -284,16 +336,33 @@ func (c *Core) complPop() {
 // uops notify their owner. Oldest-first so the oldest misprediction wins.
 func (c *Core) complete() {
 	slot := c.Cycle % completionRing
-	list := c.completions[slot]
-	if len(list) == 0 {
+	head := c.complHead[slot]
+	if head == nil {
 		return
 	}
-	c.completions[slot] = list[:0]
+	c.complHead[slot] = nil
+	list := c.complScratch[:0]
+	for u := head; u != nil; u = u.complNext {
+		list = append(list, u)
+	}
+	// The intrusive push prepends, so the walk yields newest-first; restore
+	// scheduling (FIFO) order. Seq alone is NOT a total order here — a
+	// companion uop shares its Seq with its main-thread twin — so the sort
+	// below resolves ties by input position and must see the same input
+	// order the slice-based ring produced.
+	for i, j := 0, len(list)-1; i < j; i, j = i+1, j-1 {
+		list[i], list[j] = list[j], list[i]
+	}
+	c.complScratch = list
 	c.completionsPending -= len(list)
-	// Everything scheduled at or before this cycle drains now; drop the
-	// heap mirror's stale minimums so its top stays the next writeback.
-	for len(c.complHeap) > 0 && c.complHeap[0] <= c.Cycle {
-		c.complPop()
+	if c.bitset {
+		c.complMask[slot>>6] &^= 1 << uint(slot&63)
+	} else {
+		// Everything scheduled at or before this cycle drains now; drop the
+		// heap mirror's stale minimums so its top stays the next writeback.
+		for len(c.complHeap) > 0 && c.complHeap[0] <= c.Cycle {
+			c.complPop()
+		}
 	}
 	// Seqs are unique, so this unstable sort is deterministic; unlike
 	// sort.Slice it does not allocate a closure + swapper per call.
@@ -313,6 +382,9 @@ func (c *Core) complete() {
 			continue
 		}
 		u.Executed = true
+		if u.Cls == isa.ClassStore && !u.TEA {
+			c.storeEpoch++ // a store's address became known
+		}
 		if u.HasDest {
 			c.PRF.Write(u.Prd, u.Val)
 			c.wakeWaiters(u.Prd)

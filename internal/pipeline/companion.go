@@ -1,6 +1,9 @@
 package pipeline
 
-import "teasim/internal/telemetry"
+import (
+	"teasim/internal/isa"
+	"teasim/internal/telemetry"
+)
 
 // Companion is a precomputation engine attached to the core — the TEA
 // thread (internal/core) or the Branch Runahead baseline (internal/runahead).
@@ -86,6 +89,27 @@ type Companion interface {
 // the companion must hand each one back via RecycleCompanionUop when it
 // drops its last reference.
 func (c *Core) NewCompanionUop() *Uop { return c.pool.getUop() }
+
+// InstMeta resolves the instruction and its class at pc, serving companion
+// fetch from the predecoded template cache when the block cache is enabled
+// (the decode itself is identical; templates just avoid recomputing the
+// class per fetch). Returns ok=false outside the code segment — the same
+// condition under which Prog.InstAt returns nil.
+func (c *Core) InstMeta(pc uint64) (in *isa.Inst, cls isa.Class, ok bool) {
+	if c.dec != nil {
+		idx, ok := c.dec.Index(pc)
+		if !ok {
+			return nil, 0, false
+		}
+		t := &c.dec.Tmpl[idx]
+		return t.In, t.Cls, true
+	}
+	in = c.Prog.InstAt(pc)
+	if in == nil {
+		return nil, 0, false
+	}
+	return in, in.Class(), true
+}
 
 // RecycleCompanionUop returns a companion-owned uop to the shared pool.
 // The caller must have removed it from every structure that could still

@@ -64,10 +64,44 @@ type Core struct {
 	rsMainCount int
 	rsTEACount  int
 	mainRSCap   int
-	lqCount     int
-	sqCount     int
-	sq          queue[*Uop] // stores in program order, executed ⇒ address known
-	completions [completionRing][]*Uop
+
+	// Bitset scheduler state (sched_bitset.go; active unless
+	// Cfg.NoBitsetSched). Entries live in fixed slots allocated from a
+	// free bitmap; waiter lists and the ready list hold packed
+	// (stamp<<16|slot) references, so age order is numeric order.
+	bitset      bool
+	slots       []schedSlot
+	slotFree    []uint64
+	readyList   []uint64
+	readySorted int // prefix of readyList already in stamp order
+	pwaiters    [][]uint64
+	teaAgeP     []uint64
+	teaAgePHead int
+	candScratch []*Uop // per-cycle select candidates, reused
+	// sqParked holds refs of ready main loads whose SQ-disambiguation scan
+	// verdict is memoized as "blocked" (see storeEpoch): select skips them
+	// entirely and re-admits the whole list when the epoch moves.
+	sqParked    []uint64
+	parkedEpoch uint64
+	// memParked holds refs of ready main loads with a live MSHR-full memo
+	// (u.memWake, see issueLoad): select skips them until the earliest memo
+	// expires, then re-admits the whole list (late entries re-park).
+	memParked     []uint64
+	memParkedWake uint64
+
+	lqCount int
+	sqCount int
+	sq      queue[*Uop] // stores in program order, executed ⇒ address known
+	// storeEpoch versions the store-queue disambiguation inputs: it bumps
+	// whenever the SQ population changes (rename push, retire pop, flush
+	// truncate) or a store's address becomes known (writeback). A load's
+	// "blocked" scan verdict is valid while the epoch is unchanged, so
+	// blocked loads retry in O(1) instead of rescanning the SQ every cycle.
+	storeEpoch uint64
+	// complHead holds, per completion-ring slot, an intrusive list (via
+	// Uop.complNext) of the uops scheduled to write back at that cycle.
+	complHead    [completionRing]*Uop
+	complScratch []*Uop // drain buffer, reused each cycle
 	// completionsPending counts uops currently scheduled in the completions
 	// ring (flushes never remove entries — squashed uops drain through
 	// complete()).
@@ -76,8 +110,11 @@ type Core struct {
 	// everything in the ring (duplicates allowed). complete() pops entries as
 	// their cycle drains, so the top is always the earliest outstanding
 	// writeback — the idle-cycle scanner's wake source, replacing a walk over
-	// the 16384 ring slots with an O(1) peek.
+	// the 16384 ring slots with an O(1) peek. Reference path only: the bitset
+	// scheduler replaces it with complMask, a 1-bit-per-slot occupancy bitmap
+	// scanned circularly with bits.TrailingZeros64.
 	complHeap []uint64
+	complMask [completionRing / 64]uint64
 
 	pendingRedirects []pendingRedirect
 
@@ -92,6 +129,13 @@ type Core struct {
 
 	// Co-simulation.
 	gold *emu.Machine
+
+	// dec is the program's predecoded template table (the decoded-block
+	// cache; nil when Cfg.NoBlockCache). codeBase/codeEnd bound the code
+	// segment for the self-modifying-store assertion.
+	dec      *emu.Decoded
+	codeBase uint64
+	codeEnd  uint64
 
 	pool pools
 
@@ -144,22 +188,23 @@ func New(cfg Config, prog *isa.Program) *Core {
 		teaPRBase:  cfg.NumPRegs,
 		teaPRCount: teaRegs,
 		comp:       nopCompanion{},
+		bitset:     !cfg.NoBitsetSched,
+		storeEpoch: 1,
+		codeBase:   prog.CodeBase,
+		codeEnd:    prog.CodeEnd(),
 	}
 	c.waiters = make([][]rsRef, cfg.NumPRegs+teaRegs)
+	if c.bitset {
+		c.initSched(cfg.NumPRegs + teaRegs)
+	}
+	if !cfg.NoBlockCache {
+		c.dec = emu.Predecode(prog)
+	}
 	for _, seg := range prog.Data {
 		c.Mem.WriteBytes(seg.Addr, seg.Bytes)
 	}
 	for i := 0; i < isa.NumRegs; i++ {
 		c.rat[i] = uint16(i)
-	}
-	// Seed every completion-ring slot with a few elements of capacity carved
-	// from a single shared array: an 8-wide machine routinely retires several
-	// writebacks on one cycle, and first-touch growth of 16384 nil slices
-	// otherwise shows up as a steady allocation stream on the issue path.
-	const slotCap = 4
-	ringBacking := make([]*Uop, completionRing*slotCap)
-	for i := range c.completions {
-		c.completions[i] = ringBacking[i*slotCap : i*slotCap : (i+1)*slotCap]
 	}
 	if cfg.CoSim {
 		c.gold = emu.NewWithMem(prog, c.Mem.Clone())

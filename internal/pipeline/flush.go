@@ -60,6 +60,7 @@ func (c *Core) flushAfter(seq uint64, redirectPC uint64, rec *BranchRec, actualT
 		j--
 	}
 	c.sq.truncFrom(j)
+	c.storeEpoch++ // SQ population (or surviving loads' elders) changed
 
 	// Reservation stations: squash waiting entries younger than the branch.
 	// Companion uops share timestamps with their main-thread counterparts,
@@ -75,6 +76,9 @@ func (c *Core) flushAfter(seq uint64, redirectPC uint64, rec *BranchRec, actualT
 		if u.Seq > seq {
 			u.Squashed = true
 			u.InRS = false
+			if c.bitset {
+				c.freeSlot(u)
+			}
 			if u.TEA {
 				c.rsTEACount--
 				c.comp.UopSquashed(u)

@@ -14,6 +14,10 @@ func (c *Core) predict() {
 	if c.streamStalled || c.Cycle < c.streamResumeAt || c.fetchQ.len() >= c.Cfg.FetchQueueSize {
 		return
 	}
+	if c.dec != nil {
+		c.predictDecoded()
+		return
+	}
 	pc := c.streamPC
 	blk := c.pool.getBlock()
 	blk.StartPC, blk.SeqBase, blk.Cycle = pc, c.seq, c.Cycle
@@ -38,38 +42,7 @@ func (c *Core) predict() {
 			pc += isa.InstBytes
 			continue
 		}
-		rec := c.pool.getRec()
-		rec.Seq, rec.PC, rec.In = seq, pc, in
-		c.BP.PredictInto(pc, &rec.Pred)
-		pred := &rec.Pred
-		if in.IsCondBranch() {
-			if ovTaken, ok := c.comp.OverridePrediction(pc, seq); ok {
-				switch {
-				case pred.BTBHit && pred.Kind == bpred.KindCond:
-					c.BP.ForceConditional(pred, ovTaken)
-					rec.Precomputed = true
-					rec.PreTaken = ovTaken
-					rec.PreTarget = pred.Target
-					rec.PreCycle = c.Cycle
-				case !pred.BTBHit && !ovTaken:
-					// The implicit fall-through already agrees.
-					rec.Precomputed = true
-					rec.PreTaken = false
-					rec.PreCycle = c.Cycle
-				default:
-					// A taken override without a BTB target cannot redirect.
-				}
-			}
-		}
-		rec.PredTaken = pred.BTBHit && pred.Taken
-		if rec.PredTaken {
-			rec.PredTarget = pred.Target
-			rec.PredNext = pred.Target
-		} else {
-			rec.PredNext = pc + isa.InstBytes
-		}
-		rec.OrigNext = rec.PredNext
-		c.recList.push(rec)
+		rec := c.predictBranch(pc, seq, in, in.IsCondBranch())
 		blk.Branches = append(blk.Branches, blockBranch{idx: blk.Count - 1, rec: rec})
 		if rec.PredTaken {
 			pc = rec.PredTarget
@@ -85,6 +58,110 @@ func (c *Core) predict() {
 	c.streamPC = pc
 	c.fetchQ.push(blk)
 	c.comp.OnBlock(blk)
+}
+
+// predictDecoded is predict()'s fast path over the decoded-block cache: the
+// NextBr index jumps straight-line runs in O(1) instead of touching every
+// instruction, and branch/halt handling replays the cached templates. The
+// emitted blocks, records, and stream state are bit-identical to the
+// per-instruction walk.
+func (c *Core) predictDecoded() {
+	dec := c.dec
+	pc := c.streamPC
+	blk := c.pool.getBlock()
+	blk.StartPC, blk.SeqBase, blk.Cycle = pc, c.seq, c.Cycle
+	if idx, ok := dec.Index(pc); ok {
+		blk.decIdx = int32(idx)
+	} else {
+		blk.decIdx = -1 // off-segment: the loop below emits nothing
+	}
+	for blk.Count < c.Cfg.MaxBlockInstrs {
+		idx, ok := dec.Index(pc)
+		if !ok {
+			// Off the code segment (wrong path): the stream waits for a
+			// redirect. Emit whatever was collected.
+			c.streamStalled = true
+			break
+		}
+		// Consume the straight-line run up to the next branch/halt at once.
+		if run := int(dec.NextBr[idx]) - idx; run > 0 {
+			if left := c.Cfg.MaxBlockInstrs - blk.Count; run >= left {
+				// The block caps inside the run; no stall, stream continues.
+				blk.Count += left
+				c.seq += uint64(left)
+				pc += uint64(left) * isa.InstBytes
+				break
+			}
+			blk.Count += run
+			c.seq += uint64(run)
+			pc += uint64(run) * isa.InstBytes
+			idx += run
+		}
+		t := &dec.Tmpl[idx]
+		seq := c.seq
+		c.seq++
+		blk.Count++
+		if t.IsHalt {
+			// The stream ends; the halt itself is fetched and retired.
+			c.streamStalled = true
+			pc += isa.InstBytes
+			break
+		}
+		rec := c.predictBranch(pc, seq, t.In, t.IsCond)
+		blk.Branches = append(blk.Branches, blockBranch{idx: blk.Count - 1, rec: rec})
+		if rec.PredTaken {
+			pc = rec.PredTarget
+			break // one taken branch per cycle
+		}
+		pc += isa.InstBytes
+	}
+	if blk.Count == 0 {
+		c.pool.putBlock(blk)
+		return
+	}
+	blk.NextPC = pc
+	c.streamPC = pc
+	c.fetchQ.push(blk)
+	c.comp.OnBlock(blk)
+}
+
+// predictBranch consults the predictor stack (and any companion override) for
+// the branch at pc and pushes its in-flight record. Shared by both predict
+// paths so the prediction/override logic cannot diverge between them.
+func (c *Core) predictBranch(pc, seq uint64, in *isa.Inst, isCond bool) *BranchRec {
+	rec := c.pool.getRec()
+	rec.Seq, rec.PC, rec.In = seq, pc, in
+	c.BP.PredictInto(pc, &rec.Pred)
+	pred := &rec.Pred
+	if isCond {
+		if ovTaken, ok := c.comp.OverridePrediction(pc, seq); ok {
+			switch {
+			case pred.BTBHit && pred.Kind == bpred.KindCond:
+				c.BP.ForceConditional(pred, ovTaken)
+				rec.Precomputed = true
+				rec.PreTaken = ovTaken
+				rec.PreTarget = pred.Target
+				rec.PreCycle = c.Cycle
+			case !pred.BTBHit && !ovTaken:
+				// The implicit fall-through already agrees.
+				rec.Precomputed = true
+				rec.PreTaken = false
+				rec.PreCycle = c.Cycle
+			default:
+				// A taken override without a BTB target cannot redirect.
+			}
+		}
+	}
+	rec.PredTaken = pred.BTBHit && pred.Taken
+	if rec.PredTaken {
+		rec.PredTarget = pred.Target
+		rec.PredNext = pred.Target
+	} else {
+		rec.PredNext = pc + isa.InstBytes
+	}
+	rec.OrigNext = rec.PredNext
+	c.recList.push(rec)
+	return rec
 }
 
 // fetch consumes fetch-queue blocks through the I-cache: up to FrontWidth
@@ -146,12 +223,20 @@ func (c *Core) fetch() {
 			nLines++
 		}
 
-		in := c.Prog.InstAt(pc)
 		u := c.pool.getUop()
 		u.Seq = blk.SeqBase + uint64(c.mainOff)
 		u.PC = pc
-		u.In = in
-		u.Cls = in.Class()
+		if c.dec != nil {
+			// Decode via the predecoded template: class and dest-validity
+			// were cracked once at Predecode time.
+			t := &c.dec.Tmpl[int(blk.decIdx)+c.mainOff]
+			u.In, u.Cls, u.destValid = t.In, t.Cls, t.DestValid
+		} else {
+			in := c.Prog.InstAt(pc)
+			u.In = in
+			u.Cls = in.Class()
+			u.destValid = in.HasDest() && in.Rd != isa.R0
+		}
 		u.FetchCycle = c.Cycle
 		if u.isBranch() {
 			for _, bb := range blk.Branches {
@@ -163,12 +248,12 @@ func (c *Core) fetch() {
 			// BTB-miss direct unconditional branches are re-steered at
 			// decode: the target is in the instruction bytes.
 			if u.Rec != nil && !u.Rec.Pred.BTBHit &&
-				(in.Op == isa.OpJmp || in.Op == isa.OpCall) {
+				(u.In.Op == isa.OpJmp || u.In.Op == isa.OpCall) {
 				c.pendingRedirects = append(c.pendingRedirects, pendingRedirect{
 					atCycle: c.Cycle + 2,
 					seq:     u.Rec.Seq,
 					pc:      u.PC,
-					target:  uint64(in.Imm),
+					target:  uint64(u.In.Imm),
 				})
 			}
 		}

@@ -196,6 +196,11 @@ func (c *Core) checkScheduler() {
 			liveMain, liveTEA, c.rsMainCount, c.rsTEACount)
 	}
 
+	if c.bitset {
+		c.checkSchedulerBitset(cnt, liveMain+liveTEA)
+		return
+	}
+
 	refs := 0
 	for _, r := range c.readyQ {
 		if !r.live() {
@@ -253,24 +258,188 @@ func (c *Core) checkScheduler() {
 	}
 }
 
-// checkCompletions: the completion heap mirrors the ring. The cheap
-// every-cycle checks are counter-vs-heap size and that nothing outstanding
-// is already overdue; a periodic sweep re-counts the whole ring and
-// re-verifies the heap property.
-func (c *Core) checkCompletions() {
-	if len(c.complHeap) != c.completionsPending {
-		c.paranoiac("completion heap holds %d cycles, ring counter says %d",
-			len(c.complHeap), c.completionsPending)
+// checkSchedulerBitset: the bitset scheduler's redundant state. Every live RS
+// entry (keys of cnt, re-derived from the shared rs list) owns exactly one
+// slot whose cached fields match the uop, the free bitmap agrees with slot
+// occupancy, every live entry is registered in exactly one wakeup home
+// (readyList or one pwaiters list), no waiter sits on a ready register, the
+// sorted prefix of readyList is in packed (age) order, main-thread entries in
+// readyList have both sources ready (the monotonicity claim select's fast
+// path relies on), and the packed companion age list covers every live
+// companion entry in fetch order.
+func (c *Core) checkSchedulerBitset(cnt map[*Uop]int, live int) {
+	occupied := 0
+	for i := range c.slots {
+		s := &c.slots[i]
+		freeBit := c.slotFree[i>>6]>>(uint(i)&63)&1 != 0
+		if s.stamp == 0 {
+			if !freeBit {
+				c.paranoiac("slot %d is empty but marked allocated in the free bitmap", i)
+			}
+			continue
+		}
+		occupied++
+		if freeBit {
+			c.paranoiac("slot %d is occupied (stamp %d) but marked free in the bitmap", i, s.stamp)
+		}
+		u := s.u
+		if u == nil {
+			c.paranoiac("slot %d has stamp %d but no uop", i, s.stamp)
+		}
+		if _, ok := cnt[u]; !ok {
+			c.paranoiac("slot %d holds seq %d, which is not live in the RS list", i, u.Seq)
+		}
+		if int(u.rsSlot) != i || u.rsStamp != s.stamp {
+			c.paranoiac("slot %d disagrees with its uop: slot stamp %d, uop slot %d stamp %d",
+				i, s.stamp, u.rsSlot, u.rsStamp)
+		}
+		if s.prs1 != u.Prs1 || s.prs2 != u.Prs2 || s.tea != u.TEA {
+			c.paranoiac("slot %d cached operands/kind diverged from seq %d", i, u.Seq)
+		}
 	}
-	if len(c.complHeap) > 0 && c.complHeap[0] < c.Cycle {
-		c.paranoiac("completion heap top %d is overdue (missed writeback)", c.complHeap[0])
+	if occupied != live {
+		c.paranoiac("slot array holds %d residencies for %d live RS entries", occupied, live)
+	}
+
+	refLive := func(ref uint64) *schedSlot {
+		s := &c.slots[ref&slotMask]
+		if s.stamp != ref>>slotBits {
+			return nil
+		}
+		return s
+	}
+	refs := 0
+	if c.readySorted > len(c.readyList) {
+		c.paranoiac("readySorted=%d exceeds readyList length %d", c.readySorted, len(c.readyList))
+	}
+	for i, ref := range c.readyList {
+		if i > 0 && i < c.readySorted && ref < c.readyList[i-1] {
+			c.paranoiac("readyList sorted prefix broken at %d (%d after %d)",
+				i, ref, c.readyList[i-1])
+		}
+		s := refLive(ref)
+		if s == nil {
+			continue
+		}
+		refs++
+		cnt[s.u]++
+		if !s.tea && (!c.PRF.Ready[s.prs1] || !c.PRF.Ready[s.prs2]) {
+			c.paranoiac("main seq %d in readyList with unready source (monotonicity violated)",
+				s.u.Seq)
+		}
+	}
+	for _, ref := range c.sqParked {
+		s := refLive(ref)
+		if s == nil {
+			continue
+		}
+		if !s.load || !s.u.sqBlocked {
+			c.paranoiac("seq %d parked without a memoized SQ-blocked verdict", s.u.Seq)
+		}
+		if !c.PRF.Ready[s.prs1] || !c.PRF.Ready[s.prs2] {
+			c.paranoiac("parked seq %d has an unready source (monotonicity violated)", s.u.Seq)
+		}
+		refs++
+		cnt[s.u]++
+	}
+	for _, ref := range c.memParked {
+		s := refLive(ref)
+		if s == nil {
+			continue
+		}
+		if !s.load || s.u.memWake == 0 {
+			c.paranoiac("seq %d parked without a memoized MSHR-full verdict", s.u.Seq)
+		}
+		if c.memParkedWake == 0 || c.memParkedWake > s.u.memWake {
+			c.paranoiac("parked seq %d wakes at %d but the pool wake is %d (lost wakeup)",
+				s.u.Seq, s.u.memWake, c.memParkedWake)
+		}
+		if !c.PRF.Ready[s.prs1] || !c.PRF.Ready[s.prs2] {
+			c.paranoiac("parked seq %d has an unready source (monotonicity violated)", s.u.Seq)
+		}
+		refs++
+		cnt[s.u]++
+	}
+	for preg, ws := range c.pwaiters {
+		for _, ref := range ws {
+			s := refLive(ref)
+			if s == nil {
+				continue
+			}
+			if c.PRF.Ready[preg] {
+				c.paranoiac("live seq %d waits on p%d, which is already ready (lost wakeup)",
+					s.u.Seq, preg)
+			}
+			refs++
+			cnt[s.u]++
+		}
+	}
+	if refs != live {
+		c.paranoiac("wakeup registration: %d live refs for %d live RS entries", refs, live)
+	}
+	for u, n := range cnt {
+		if n != 1 {
+			c.paranoiac("seq %d registered %d times across readyList+parked+pwaiters, want exactly 1",
+				u.Seq, n)
+		}
+	}
+
+	teaLive := 0
+	var prevFetch uint64
+	for i := c.teaAgePHead; i < len(c.teaAgeP); i++ {
+		s := refLive(c.teaAgeP[i])
+		if s == nil {
+			continue
+		}
+		teaLive++
+		if s.u.FetchCycle < prevFetch {
+			c.paranoiac("companion age list out of order: seq %d fetched at %d after %d",
+				s.u.Seq, s.u.FetchCycle, prevFetch)
+		}
+		prevFetch = s.u.FetchCycle
+	}
+	if teaLive != c.rsTEACount {
+		c.paranoiac("companion age list covers %d live entries, rsTEACount=%d",
+			teaLive, c.rsTEACount)
+	}
+}
+
+// checkCompletions: the heap (reference path) or occupancy bitmap (bitset
+// path) mirrors the intrusive completion ring. The cheap every-cycle checks
+// are counter-vs-mirror agreement and that nothing outstanding is already
+// overdue; a periodic sweep walks the whole ring through the complNext links
+// and re-verifies slot filing and the mirror in full.
+func (c *Core) checkCompletions() {
+	if c.bitset {
+		if c.completionsPending == 0 {
+			for w, word := range c.complMask {
+				if word != 0 {
+					c.paranoiac("completion bitmap word %d nonzero with nothing pending", w)
+				}
+			}
+		}
+	} else {
+		if len(c.complHeap) != c.completionsPending {
+			c.paranoiac("completion heap holds %d cycles, ring counter says %d",
+				len(c.complHeap), c.completionsPending)
+		}
+		if len(c.complHeap) > 0 && c.complHeap[0] < c.Cycle {
+			c.paranoiac("completion heap top %d is overdue (missed writeback)", c.complHeap[0])
+		}
 	}
 	if c.Cycle%paranoiaRingPeriod != 0 {
 		return
 	}
 	inRing := 0
-	for slot := range c.completions {
-		for _, u := range c.completions[slot] {
+	for slot := range c.complHead {
+		occupied := c.complHead[slot] != nil
+		if c.bitset {
+			if bit := c.complMask[slot>>6]>>(uint(slot)&63)&1 != 0; bit != occupied {
+				c.paranoiac("completion bitmap bit for slot %d is %v, ring occupancy is %v",
+					slot, bit, occupied)
+			}
+		}
+		for u := c.complHead[slot]; u != nil; u = u.complNext {
 			inRing++
 			if u.DoneAt < c.Cycle {
 				c.paranoiac("ring slot %d holds seq %d due at %d, already past", slot, u.Seq, u.DoneAt)

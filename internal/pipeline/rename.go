@@ -1,7 +1,5 @@
 package pipeline
 
-import "teasim/internal/isa"
-
 // rename moves rename-ready uops from the frontend pipe into the ROB and
 // reservation stations, in order, allocating physical registers and
 // load/store queue slots. The companion claims issue slots first (priority
@@ -19,7 +17,7 @@ func (c *Core) rename() {
 		if c.rsMainCount >= c.mainRSCap {
 			return
 		}
-		hasDest := u.In.HasDest() && u.In.Rd != isa.R0
+		hasDest := u.destValid // cached at fetch: HasDest() && Rd != R0
 		if hasDest && !c.PRF.CanAlloc() {
 			return
 		}
@@ -49,6 +47,7 @@ func (c *Core) rename() {
 		if u.isStore() {
 			c.sqCount++
 			c.sq.push(u)
+			c.storeEpoch++
 		}
 		width--
 	}
@@ -89,6 +88,9 @@ func (c *Core) SquashCompanionWaiting() {
 		if u.TEA {
 			u.Squashed = true
 			u.InRS = false
+			if c.bitset {
+				c.freeSlot(u)
+			}
 			c.rsTEACount--
 			c.comp.UopSquashed(u)
 			continue

@@ -21,12 +21,22 @@ func (c *Core) retire() error {
 			if _, ok := c.Hier.StoreCommit(u.Addr, c.Cycle); !ok {
 				return nil // MSHRs full; retry next cycle
 			}
+			// Self-modifying code is asserted absent (no workload writes its
+			// own code segment): the decoded-block cache is built once per
+			// program and never invalidated, so a store into the code segment
+			// would silently desynchronize it.
+			if sz := uint64(u.In.MemBytes()); u.Addr < c.codeEnd && u.Addr+sz > c.codeBase {
+				return fmt.Errorf(
+					"pipeline: self-modifying store at %#x into code segment [%#x,%#x) (seq %d): unsupported with the decoded-block cache",
+					u.Addr, c.codeBase, c.codeEnd, u.Seq)
+			}
 			c.Mem.Write(u.Addr, u.StoreData, u.In.MemBytes())
 			if c.sq.len() == 0 || c.sq.front() != u {
 				return fmt.Errorf("pipeline: SQ head mismatch at retire (seq %d)", u.Seq)
 			}
 			c.sq.popFront()
 			c.sqCount--
+			c.storeEpoch++
 		}
 		if u.isLoad() {
 			c.lqCount--

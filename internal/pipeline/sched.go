@@ -30,7 +30,9 @@ type rsRef struct {
 func (r rsRef) live() bool { return r.u.rsStamp == r.stamp && r.u.InRS }
 
 // insertRS registers a just-renamed uop with the scheduler. The caller has
-// already set InRS and the occupancy counts.
+// already set InRS and the occupancy counts. The rs/rsStamps insertion-order
+// list is shared by both scheduler implementations: flushes and companion
+// squashes walk it, and it is the paranoia checker's ground truth.
 func (c *Core) insertRS(u *Uop) {
 	c.rsStampCtr++
 	u.rsStamp = c.rsStampCtr
@@ -40,6 +42,10 @@ func (c *Core) insertRS(u *Uop) {
 	// dead-entry overhead between flushes.
 	if len(c.rs) > 2*(c.rsMainCount+c.rsTEACount)+64 {
 		c.compactRS()
+	}
+	if c.bitset {
+		c.insertRSBitset(u)
+		return
 	}
 	if u.TEA {
 		c.teaAge = append(c.teaAge, rsRef{u, u.rsStamp})
@@ -58,6 +64,10 @@ func (c *Core) insertRS(u *Uop) {
 // waiting on it either moves on to its other (still unready) source or
 // becomes a select candidate.
 func (c *Core) wakeWaiters(p uint16) {
+	if c.bitset {
+		c.wakeWaitersBitset(p)
+		return
+	}
 	ws := c.waiters[p]
 	if len(ws) == 0 {
 		return
@@ -125,6 +135,18 @@ func (c *Core) selectReady() []rsRef {
 	}
 	c.readyQ = q
 	return q
+}
+
+// selectCands adapts selectReady to the []*Uop candidate shape execute()
+// consumes (the bitset path produces the same shape from packed refs).
+func (c *Core) selectCands() []*Uop {
+	q := c.selectReady()
+	cands := c.candScratch[:0]
+	for _, r := range q {
+		cands = append(cands, r.u)
+	}
+	c.candScratch = cands
+	return cands
 }
 
 // sweepCompanionTimeouts ages companion uops out of the RS once they have

@@ -1,0 +1,304 @@
+package pipeline
+
+import "math/bits"
+
+// Bitset scheduler: the fast-path implementation of the event-driven
+// wakeup/select machinery in sched.go (active unless Cfg.NoBitsetSched; the
+// two are bit-identical, enforced by the fast-path equivalence suite).
+//
+// RS residencies live in fixed slots of a flat array. A free-slot bitmap
+// allocated with bits.TrailingZeros64 replaces pointer-chasing list
+// membership; every reference to a residency is a packed 64-bit word
+// (rsStamp<<16 | slot), so
+//
+//   - liveness is one load: slots[slot].stamp == ref>>16 — a freed or
+//     recycled slot has a different (or zero) stamp, exactly the stale-ref
+//     guard the rsRef path gets from (u.rsStamp, u.InRS);
+//   - age order is numeric order: stamps are monotone, so sorting packed
+//     refs ascending IS the RS-insertion-order sort selectReady must
+//     preserve. Waiter-list and bitmap iteration order are free to differ
+//     from the reference path because the final candidate order comes from
+//     this sort alone.
+//
+// Selection skips the per-cycle PRF.Ready revalidation for main-thread
+// entries: main readiness is monotonic. A main uop's source register cannot
+// be freed while the consumer sits in the RS — the next writer of that
+// architectural register is younger (flushes squash consumers together with
+// producers, and the previous mapping is freed only when the younger writer
+// retires, which in-order retirement forbids before the older consumer
+// leaves). Only companion (TEA) entries can observe a ready register go
+// unready again — their producer can be squashed and the register recycled
+// under them — so only they revalidate, exactly like the reference path's
+// migration back to a waiter list. Paranoia mode re-asserts the monotonicity
+// claim every cycle (checkScheduler).
+
+// schedSlot is one RS residency in the bitset scheduler.
+type schedSlot struct {
+	u          *Uop
+	stamp      uint64 // == u.rsStamp while the slot is live; 0 when free
+	prs1, prs2 uint16
+	tea        bool
+	load       bool // main-thread load (parkable on an SQ-blocked verdict)
+}
+
+// packed waiter/ready reference layout.
+const (
+	slotBits = 16
+	slotMask = 1<<slotBits - 1
+	// maxSlots bounds the slot space so a packed ref's stamp and slot never
+	// collide. Stamps get the remaining 48 bits: one insertion per simulated
+	// cycle for ~89 years of 100GHz simulation — not a practical limit.
+	maxSlots = 1 << slotBits
+)
+
+// initSched sizes the slot array and per-register waiter lists. Slots cover
+// the worst-case combined RS occupancy (main partition + a dedicated
+// companion engine's reservation), rounded up to whole bitmap words; the
+// array grows on demand if a configuration exceeds the estimate.
+func (c *Core) initSched(nPR int) {
+	n := (c.Cfg.RSSize + 256 + 63) &^ 63
+	c.slots = make([]schedSlot, n)
+	c.slotFree = make([]uint64, n/64)
+	for i := range c.slotFree {
+		c.slotFree[i] = ^uint64(0)
+	}
+	// Waiter lists get a small capacity each, carved from one backing array;
+	// the per-list slices keep whatever capacity they grow to for the life
+	// of the core.
+	const wcap = 4
+	c.pwaiters = make([][]uint64, nPR)
+	backing := make([]uint64, nPR*wcap)
+	for i := range c.pwaiters {
+		c.pwaiters[i] = backing[i*wcap : i*wcap : (i+1)*wcap]
+	}
+	c.readyList = make([]uint64, 0, 256)
+	c.teaAgeP = make([]uint64, 0, 256)
+	c.candScratch = make([]*Uop, 0, 64)
+	c.complScratch = make([]*Uop, 0, 64)
+}
+
+// allocSlot takes the lowest free slot (pure simulator bookkeeping: slot
+// numbers never influence scheduling decisions, so lowest-first is safe —
+// unlike the PRF free list, whose LIFO order is architecturally observable;
+// see DESIGN.md §12).
+func (c *Core) allocSlot() int {
+	for w, word := range c.slotFree {
+		if word != 0 {
+			b := bits.TrailingZeros64(word)
+			c.slotFree[w] = word &^ (1 << uint(b))
+			return w<<6 | b
+		}
+	}
+	base := len(c.slots)
+	if base+64 > maxSlots {
+		panic("pipeline: bitset scheduler slot space exhausted")
+	}
+	c.slots = append(c.slots, make([]schedSlot, 64)...)
+	c.slotFree = append(c.slotFree, ^uint64(0)&^1)
+	return base
+}
+
+// freeSlot releases a residency's slot. Zeroing the stamp kills every packed
+// reference still pointing at it.
+func (c *Core) freeSlot(u *Uop) {
+	s := int(u.rsSlot)
+	c.slots[s] = schedSlot{}
+	c.slotFree[s>>6] |= 1 << uint(s&63)
+}
+
+// insertRSBitset is insertRS's registration half for the bitset scheduler
+// (stamping and the rs/rsStamps bookkeeping happen in the shared prefix).
+func (c *Core) insertRSBitset(u *Uop) {
+	slot := c.allocSlot()
+	u.rsSlot = int32(slot)
+	c.slots[slot] = schedSlot{u: u, stamp: u.rsStamp, prs1: u.Prs1, prs2: u.Prs2,
+		tea: u.TEA, load: !u.TEA && u.isLoad()}
+	ref := u.rsStamp<<slotBits | uint64(slot)
+	if u.TEA {
+		c.teaAgeP = append(c.teaAgeP, ref)
+	}
+	if !c.PRF.Ready[u.Prs1] {
+		c.pwaiters[u.Prs1] = append(c.pwaiters[u.Prs1], ref)
+	} else if !c.PRF.Ready[u.Prs2] {
+		c.pwaiters[u.Prs2] = append(c.pwaiters[u.Prs2], ref)
+	} else {
+		c.readyList = append(c.readyList, ref)
+	}
+}
+
+// wakeWaitersBitset re-homes or readies every entry waiting on p.
+func (c *Core) wakeWaitersBitset(p uint16) {
+	ws := c.pwaiters[p]
+	if len(ws) == 0 {
+		return
+	}
+	c.pwaiters[p] = ws[:0]
+	for _, ref := range ws {
+		s := &c.slots[ref&slotMask]
+		if s.stamp != ref>>slotBits {
+			continue // freed (or recycled) residency
+		}
+		if !c.PRF.Ready[s.prs1] {
+			c.pwaiters[s.prs1] = append(c.pwaiters[s.prs1], ref)
+		} else if !c.PRF.Ready[s.prs2] {
+			c.pwaiters[s.prs2] = append(c.pwaiters[s.prs2], ref)
+		} else {
+			c.readyList = append(c.readyList, ref)
+		}
+	}
+}
+
+// selectCandsBitset compacts the ready list in place and returns this
+// cycle's candidates in RS-insertion order. Only companion entries
+// revalidate readiness (see the monotonicity argument above). The list
+// stays sorted across cycles: survivors of the previously sorted prefix are
+// already ordered, so only refs appended since the last select (wakeups,
+// fresh inserts) take insertion-sort steps.
+//
+// Main loads with a memoized SQ-blocked verdict are parked on a side list
+// instead of re-selected: issueLoad would fast-out on them without touching
+// any state, so their absence from the candidate list is unobservable. The
+// whole parked list returns to readyList the moment the store epoch moves
+// (the memo key), and the stamp sort restores their age position. Within a
+// tick, the only epoch bumps after select (a rename-stage store push, a
+// decode-resteer flush) cannot unblock a surviving parked load: new stores
+// are younger than it, and a flush old enough to remove its blocking store
+// squashes the load itself.
+func (c *Core) selectCandsBitset() []*Uop {
+	if len(c.sqParked) > 0 && c.parkedEpoch != c.storeEpoch {
+		c.readyList = append(c.readyList, c.sqParked...)
+		c.sqParked = c.sqParked[:0]
+	}
+	if len(c.memParked) > 0 && c.Cycle >= c.memParkedWake {
+		// The earliest parked wake is due: re-admit the whole list. Entries
+		// with later wakes re-park below without probing anything.
+		c.readyList = append(c.readyList, c.memParked...)
+		c.memParked = c.memParked[:0]
+		c.memParkedWake = 0
+	}
+	q := c.readyList[:0]
+	cands := c.candScratch[:0]
+	sorted := 0
+	for i, ref := range c.readyList {
+		s := &c.slots[ref&slotMask]
+		if s.stamp != ref>>slotBits {
+			continue
+		}
+		if s.load {
+			u := s.u
+			if u.sqBlocked && u.sqEpoch == c.storeEpoch {
+				c.sqParked = append(c.sqParked, ref)
+				c.parkedEpoch = c.storeEpoch
+				continue
+			}
+			if u.memWake > c.Cycle {
+				// Guaranteed-rejected MSHR retry (see issueLoad): tryIssue
+				// would consume no port and mutate nothing, so dropping the
+				// entry from the candidate list is unobservable.
+				c.memParked = append(c.memParked, ref)
+				if c.memParkedWake == 0 || u.memWake < c.memParkedWake {
+					c.memParkedWake = u.memWake
+				}
+				continue
+			}
+		}
+		if s.tea {
+			if !c.PRF.Ready[s.prs1] {
+				c.pwaiters[s.prs1] = append(c.pwaiters[s.prs1], ref)
+				continue
+			}
+			if !c.PRF.Ready[s.prs2] {
+				c.pwaiters[s.prs2] = append(c.pwaiters[s.prs2], ref)
+				continue
+			}
+		}
+		q = append(q, ref)
+		cands = append(cands, s.u)
+		if i < c.readySorted {
+			sorted = len(q)
+		}
+	}
+	// Tandem insertion sort: cands mirrors q's final order without a second
+	// pass over the slot array.
+	start := sorted
+	if start == 0 {
+		start = 1
+	}
+	for i := start; i < len(q); i++ {
+		for j := i; j > 0 && q[j] < q[j-1]; j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	c.readyList = q
+	c.readySorted = len(q)
+	c.candScratch = cands
+	return cands
+}
+
+// sweepCompanionTimeoutsBitset mirrors sweepCompanionTimeouts on the packed
+// age list.
+func (c *Core) sweepCompanionTimeoutsBitset() {
+	for c.teaAgePHead < len(c.teaAgeP) {
+		ref := c.teaAgeP[c.teaAgePHead]
+		s := &c.slots[ref&slotMask]
+		if s.stamp == ref>>slotBits {
+			u := s.u
+			if c.Cycle-u.FetchCycle <= companionRSTimeout {
+				break
+			}
+			u.Squashed = true
+			u.InRS = false
+			c.freeSlot(u)
+			c.rsTEACount--
+			c.comp.UopSquashed(u)
+		}
+		c.teaAgePHead++
+	}
+	if c.teaAgePHead == len(c.teaAgeP) {
+		c.teaAgeP, c.teaAgePHead = c.teaAgeP[:0], 0
+	}
+}
+
+// companionTimeoutHorizonBitset mirrors companionTimeoutHorizon.
+func (c *Core) companionTimeoutHorizonBitset() uint64 {
+	for i := c.teaAgePHead; i < len(c.teaAgeP); i++ {
+		ref := c.teaAgeP[i]
+		s := &c.slots[ref&slotMask]
+		if s.stamp == ref>>slotBits {
+			return s.u.FetchCycle + companionRSTimeout + 1
+		}
+	}
+	return 0
+}
+
+// complNextWake returns the earliest outstanding completion cycle strictly
+// after the current one, scanning the occupancy bitmap circularly from the
+// current ring slot (bitset path's replacement for the heap top). The bool
+// is false when a completion is due at the current cycle (drains on the
+// next tick — the machine is not idle).
+func (c *Core) complNextWake() (uint64, bool) {
+	cur := int(c.Cycle % completionRing)
+	if c.complMask[cur>>6]>>(uint(cur)&63)&1 != 0 {
+		return 0, false
+	}
+	// First word: bits strictly above cur.
+	w := cur >> 6
+	if word := c.complMask[w] &^ (1<<(uint(cur)&63+1) - 1); word != 0 {
+		d := w<<6 + bits.TrailingZeros64(word) - cur
+		return c.Cycle + uint64(d), true
+	}
+	const words = completionRing / 64
+	for i := 1; i <= words; i++ {
+		wi := (w + i) % words
+		if word := c.complMask[wi]; word != 0 {
+			slot := wi<<6 + bits.TrailingZeros64(word)
+			d := slot - cur
+			if d <= 0 {
+				d += completionRing
+			}
+			return c.Cycle + uint64(d), true
+		}
+	}
+	return 0, true // nothing outstanding
+}

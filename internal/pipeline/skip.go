@@ -86,15 +86,51 @@ func (c *Core) idleWake() (wake uint64, idle bool) {
 	// which the completion heap below already covers. Companion entries
 	// additionally age out on the companionRSTimeout sweep; FetchCycle is
 	// nondecreasing along teaAge, so the oldest live entry bounds them all.
-	for _, r := range c.readyQ {
-		// Re-check readiness (a source PR can be re-allocated under a
-		// waiting companion consumer); an unready entry wakes only via a
-		// writeback, which the completion heap covers.
-		if r.live() && c.PRF.Ready[r.u.Prs1] && c.PRF.Ready[r.u.Prs2] && !c.loadBlocked(r.u) {
-			return 0, false
+	if c.bitset {
+		for _, ref := range c.readyList {
+			s := &c.slots[ref&slotMask]
+			if s.stamp != ref>>slotBits {
+				continue
+			}
+			// Only companion entries re-check readiness (main readiness is
+			// monotonic; see sched_bitset.go). An unready entry wakes only
+			// via a writeback, which the completion bitmap covers.
+			if s.tea && (!c.PRF.Ready[s.prs1] || !c.PRF.Ready[s.prs2]) {
+				continue
+			}
+			if !c.loadBlocked(s.u) {
+				return 0, false
+			}
+		}
+		// MSHR-parked loads are invisible to the walk above; their retry is
+		// due exactly when the earliest parked memo expires. A due (or past)
+		// pool wake vetoes idleness — select re-admits the pool on the next
+		// tick — and a future one bounds the skip. (sqParked needs no
+		// analogue: a parked SQ verdict can only flip via a completion,
+		// retire, or flush event, all wake sources already.)
+		if len(c.memParked) > 0 {
+			if c.memParkedWake <= c.Cycle {
+				return 0, false
+			}
+			closer(c.memParkedWake)
+		}
+	} else {
+		for _, r := range c.readyQ {
+			// Re-check readiness (a source PR can be re-allocated under a
+			// waiting companion consumer); an unready entry wakes only via a
+			// writeback, which the completion heap covers.
+			if r.live() && c.PRF.Ready[r.u.Prs1] && c.PRF.Ready[r.u.Prs2] && !c.loadBlocked(r.u) {
+				return 0, false
+			}
 		}
 	}
-	if at := c.companionTimeoutHorizon(); at != 0 {
+	var horizon uint64
+	if c.bitset {
+		horizon = c.companionTimeoutHorizonBitset()
+	} else {
+		horizon = c.companionTimeoutHorizon()
+	}
+	if at := horizon; at != 0 {
 		if at <= c.Cycle {
 			return 0, false
 		}
@@ -107,11 +143,20 @@ func (c *Core) idleWake() (wake uint64, idle bool) {
 		return 0, false
 	}
 	closer(compWake)
-	// Writeback: the earliest scheduled completion, read off the heap
-	// mirror of the ring. A completion due at the current cycle drains on
-	// the next tick (not idle); one in the past would mean the mirror
-	// drifted — treat it as a veto rather than risk skipping over it.
-	if n := len(c.complHeap); n > 0 {
+	// Writeback: the earliest scheduled completion — read off the ring's
+	// occupancy bitmap (bitset path) or the heap mirror (reference path).
+	// A completion due at the current cycle drains on the next tick (not
+	// idle); one in the past would mean the mirror drifted — treat it as a
+	// veto rather than risk skipping over it.
+	if c.bitset {
+		at, ok := c.complNextWake()
+		if !ok {
+			return 0, false
+		}
+		if at != 0 {
+			closer(at)
+		}
+	} else if n := len(c.complHeap); n > 0 {
 		if top := c.complHeap[0]; top <= c.Cycle {
 			return 0, false
 		} else {
@@ -146,6 +191,12 @@ func (c *Core) loadBlocked(u *Uop) bool {
 	if u.Cls != isa.ClassLoad || u.TEA {
 		return false
 	}
+	if u.sqBlocked && u.sqEpoch == c.storeEpoch {
+		return true // memoized SQ-blocked verdict, inputs unchanged
+	}
+	if u.memWake > c.Cycle {
+		return true // memoized MSHR-full verdict, no fill has completed yet
+	}
 	addr := emu.EffAddr(u.In, c.PRF.Val[u.Prs1])
 	size := u.In.MemBytes()
 	for i := c.sq.len() - 1; i >= 0; i-- {
@@ -175,7 +226,7 @@ func (c *Core) renameBlocked(u *Uop) bool {
 	if c.rob.len() >= c.Cfg.ROBSize || c.rsMainCount >= c.mainRSCap {
 		return true
 	}
-	if u.In.HasDest() && u.In.Rd != isa.R0 && !c.PRF.CanAlloc() {
+	if u.destValid && !c.PRF.CanAlloc() {
 		return true
 	}
 	if u.isLoad() && c.lqCount >= c.Cfg.LQSize {

@@ -22,6 +22,7 @@ type Uop struct {
 
 	// Pipeline state.
 	rsStamp    uint64 // RS residency stamp; see sched.go
+	rsSlot     int32  // scheduler slot while InRS (bitset scheduler only)
 	InRS       bool
 	Issued     bool
 	Executed   bool
@@ -29,11 +30,33 @@ type Uop struct {
 	Squashed   bool
 	FetchCycle uint64
 
+	// complNext links uops filed in the same completion-ring slot (an
+	// intrusive list: scheduling a writeback allocates nothing).
+	complNext *Uop
+
+	// destValid caches "writes an architectural register other than R0",
+	// set at fetch from the instruction (or its predecoded template).
+	destValid bool
+
 	// Memory state.
 	Addr     uint64
 	AddrDone bool
 	LQIdx    int
 	SQIdx    int
+
+	// Store-queue disambiguation memo (main-thread loads): while the SQ
+	// epoch is unchanged, a load that scanned to a "blocked" verdict would
+	// scan to the same verdict again, so the retry skips the walk. The
+	// epoch covers every scan input (see Core.storeEpoch).
+	sqEpoch   uint64
+	sqBlocked bool
+
+	// MSHR-full memo (main-thread loads): a cache probe rejected for full
+	// MSHRs is rejected again on every retry before memWake — the earliest
+	// cycle an outstanding fill can free an MSHR. No other event can flip
+	// the verdict: the load's line can only be installed by an access that
+	// the same full MSHRs also reject, and new fills only extend occupancy.
+	memWake uint64
 
 	// Branch state.
 	Rec    *BranchRec // in-flight branch queue entry (branches only)
@@ -119,6 +142,11 @@ type FetchBlock struct {
 	// NextPC is where the stream continues after this block.
 	NextPC uint64
 	Cycle  uint64 // cycle the BP emitted this block
+
+	// decIdx is the predecoded-template index of StartPC (valid whenever
+	// the decoded-block cache is enabled; blocks are sequential runs, so
+	// instruction i's template is decIdx+i).
+	decIdx int32
 
 	// TEAMask marks instructions in this block that belong to H2P dependence
 	// chains, set when the TEA thread reads the Block Cache entry for this

@@ -7,6 +7,13 @@
 //
 // Lines that are not benchmark results (logs, table dumps, PASS/ok) are
 // ignored, so the full `go test` stream can be piped through unfiltered.
+//
+// Compare mode gates CI on throughput regressions: given two summaries it
+// checks every benchmark present in both for a drop in a higher-is-better
+// metric (sim-instrs/s by default) beyond the allowed percentage and exits
+// non-zero if any benchmark regressed:
+//
+//	go run ./internal/tools/benchjson -compare BENCH_PR6.json new.json -max-regress 10
 package main
 
 import (
@@ -67,9 +74,103 @@ func parseLine(line string) (name string, r benchResult, ok bool) {
 	return name, r, true
 }
 
+// compareResult is one benchmark's verdict in compare mode.
+type compareResult struct {
+	name     string
+	old, new float64
+	deltaPct float64 // negative = regression
+	regress  bool
+}
+
+// compare checks every benchmark present in both summaries for a drop in
+// metric beyond maxRegress percent. Benchmarks missing the metric on either
+// side are skipped (a benchmark without a throughput metric cannot regress
+// it); a benchmark present only in one file is likewise ignored so adding or
+// retiring benchmarks does not break the gate.
+func compare(oldR, newR map[string]benchResult, metric string, maxRegress float64) []compareResult {
+	var out []compareResult
+	for name, o := range oldR {
+		n, ok := newR[name]
+		if !ok {
+			continue
+		}
+		ov, ok1 := o.Metrics[metric]
+		nv, ok2 := n.Metrics[metric]
+		if !ok1 || !ok2 || ov <= 0 {
+			continue
+		}
+		delta := (nv - ov) / ov * 100
+		out = append(out, compareResult{
+			name: name, old: ov, new: nv,
+			deltaPct: delta,
+			regress:  delta < -maxRegress,
+		})
+	}
+	return out
+}
+
+func loadSummary(path string) (map[string]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r map[string]benchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func runCompare(oldPath, newPath, metric string, maxRegress float64) int {
+	oldR, err := loadSummary(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: ", err)
+		return 1
+	}
+	newR, err := loadSummary(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: ", err)
+		return 1
+	}
+	results := compare(oldR, newR, metric, maxRegress)
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark shares metric %q across %s and %s\n",
+			metric, oldPath, newPath)
+		return 1
+	}
+	failed := 0
+	for _, r := range results {
+		status := "ok"
+		if r.regress {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-40s %s: %.0f -> %.0f (%+.1f%%, allowed -%.0f%%) %s\n",
+			r.name, metric, r.old, r.new, r.deltaPct, maxRegress, status)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed %s by more than %.0f%%\n",
+			failed, metric, maxRegress)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	comparePair := flag.Bool("compare", false,
+		"compare two summary files (args: old.json new.json) instead of reading bench output")
+	metric := flag.String("metric", "sim-instrs/s", "higher-is-better metric to gate on in -compare mode")
+	maxRegress := flag.Float64("max-regress", 10, "allowed regression percentage in -compare mode")
 	flag.Parse()
+
+	if *comparePair {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two summary files")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *metric, *maxRegress))
+	}
 
 	results := map[string]benchResult{}
 	sc := bufio.NewScanner(os.Stdin)

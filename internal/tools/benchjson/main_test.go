@@ -1,0 +1,74 @@
+package main
+
+import "testing"
+
+func mk(metric string, v float64) benchResult {
+	return benchResult{Iterations: 1, Metrics: map[string]float64{metric: v}}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldR := map[string]benchResult{
+		"BenchmarkSimulatorThroughput": mk("sim-instrs/s", 400000),
+		"BenchmarkFig8VsRunahead":      mk("sim-instrs/s", 300000),
+	}
+	newR := map[string]benchResult{
+		"BenchmarkSimulatorThroughput": mk("sim-instrs/s", 350000), // -12.5%
+		"BenchmarkFig8VsRunahead":      mk("sim-instrs/s", 290000), // -3.3%
+	}
+	results := compare(oldR, newR, "sim-instrs/s", 10)
+	if len(results) != 2 {
+		t.Fatalf("compared %d benchmarks, want 2", len(results))
+	}
+	byName := map[string]compareResult{}
+	for _, r := range results {
+		byName[r.name] = r
+	}
+	if !byName["BenchmarkSimulatorThroughput"].regress {
+		t.Error("a 12.5%% drop must trip the 10%% gate")
+	}
+	if byName["BenchmarkFig8VsRunahead"].regress {
+		t.Error("a 3.3%% drop must pass the 10%% gate")
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	oldR := map[string]benchResult{"BenchmarkX": mk("sim-instrs/s", 100)}
+	newR := map[string]benchResult{"BenchmarkX": mk("sim-instrs/s", 250)}
+	results := compare(oldR, newR, "sim-instrs/s", 10)
+	if len(results) != 1 || results[0].regress {
+		t.Fatalf("a 2.5x improvement must not be flagged: %+v", results)
+	}
+}
+
+func TestCompareSkipsMismatchedEntries(t *testing.T) {
+	oldR := map[string]benchResult{
+		"BenchmarkOnlyOld":  mk("sim-instrs/s", 100),
+		"BenchmarkNoMetric": mk("allocs/kinstr", 5),
+		"BenchmarkShared":   mk("sim-instrs/s", 100),
+	}
+	newR := map[string]benchResult{
+		"BenchmarkOnlyNew":  mk("sim-instrs/s", 100),
+		"BenchmarkNoMetric": mk("allocs/kinstr", 500),
+		"BenchmarkShared":   mk("sim-instrs/s", 99),
+	}
+	results := compare(oldR, newR, "sim-instrs/s", 10)
+	if len(results) != 1 || results[0].name != "BenchmarkShared" {
+		t.Fatalf("only the shared benchmark with the metric is comparable: %+v", results)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkSimulatorThroughput-8   3  2500000 ns/op  470000 sim-instrs/s  16.42 allocs/kinstr")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if name != "BenchmarkSimulatorThroughput" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", name)
+	}
+	if r.NsPerOp != 2500000 {
+		t.Errorf("ns/op = %v", r.NsPerOp)
+	}
+	if r.Metrics["sim-instrs/s"] != 470000 || r.Metrics["allocs/kinstr"] != 16.42 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+}

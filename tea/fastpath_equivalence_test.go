@@ -1,0 +1,78 @@
+package tea_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"teasim/tea"
+)
+
+// TestFastPathEquivalence is the decoded-block-cache + bitset-scheduler
+// contract (DESIGN.md §12): both fast paths are pure simulator-speed
+// optimizations, so every mode must produce bit-identical results — every
+// counter, rate, and the final cycle count — with the fast paths enabled
+// (the default) and disabled (the reference predict/fetch walk and the
+// pointer/heap scheduler). All six modes run on a representative workload
+// pair, and the full workload suite runs in the two headline modes.
+func TestFastPathEquivalence(t *testing.T) {
+	budget := uint64(20_000)
+	for _, mode := range tea.Modes() {
+		for _, name := range []string{"mcf", "bfs"} {
+			t.Run(fmt.Sprintf("%s/%s", name, mode), func(t *testing.T) {
+				t.Parallel()
+				checkFastPathEquivalence(t, name, tea.Config{
+					Mode:            mode,
+					MaxInstructions: budget,
+				})
+			})
+		}
+	}
+	for _, name := range tea.Workloads() {
+		for _, mode := range []tea.Mode{tea.ModeBaseline, tea.ModeTEA} {
+			t.Run(fmt.Sprintf("%s/%s", name, mode), func(t *testing.T) {
+				t.Parallel()
+				checkFastPathEquivalence(t, name, tea.Config{
+					Mode:            mode,
+					MaxInstructions: budget,
+				})
+			})
+		}
+	}
+}
+
+func checkFastPathEquivalence(t *testing.T, name string, cfg tea.Config) {
+	t.Helper()
+	cfg.DisableBlockCache, cfg.DisableBitsetSched = false, false
+	on, err := tea.Run(name, cfg)
+	if err != nil {
+		t.Fatalf("fast paths on: %v", err)
+	}
+	cfg.DisableBlockCache, cfg.DisableBitsetSched = true, true
+	off, err := tea.Run(name, cfg)
+	if err != nil {
+		t.Fatalf("fast paths off: %v", err)
+	}
+	// DeepEqual, not field picking: any future Result field must hold the
+	// invariant too.
+	if !reflect.DeepEqual(on, off) {
+		t.Errorf("results diverge with the fast paths:\n on: %+v\noff: %+v", on, off)
+	}
+	// The paths are also independent: each fast path alone must match.
+	cfg.DisableBlockCache, cfg.DisableBitsetSched = true, false
+	schedOnly, err := tea.Run(name, cfg)
+	if err != nil {
+		t.Fatalf("bitset only: %v", err)
+	}
+	if !reflect.DeepEqual(on, schedOnly) {
+		t.Errorf("results diverge with only the bitset scheduler:\n on: %+v\noff: %+v", on, schedOnly)
+	}
+	cfg.DisableBlockCache, cfg.DisableBitsetSched = false, true
+	cacheOnly, err := tea.Run(name, cfg)
+	if err != nil {
+		t.Fatalf("block cache only: %v", err)
+	}
+	if !reflect.DeepEqual(on, cacheOnly) {
+		t.Errorf("results diverge with only the block cache:\n on: %+v\noff: %+v", on, cacheOnly)
+	}
+}

@@ -61,6 +61,17 @@ type Config struct {
 	// Results are bit-identical either way — skipping is cycle-exact — so
 	// this exists for debugging and the skip equivalence test.
 	DisableIdleSkip bool
+	// DisableBlockCache turns off the pipeline's decoded-block uop cache
+	// (pipeline.Config.NoBlockCache): the BP walks instructions one at a
+	// time and fetch re-decodes every uop. Results are bit-identical either
+	// way (the fast-path equivalence test pins this); for debugging and
+	// that test.
+	DisableBlockCache bool
+	// DisableBitsetSched turns off the pipeline's bitmap scheduler
+	// (pipeline.Config.NoBitsetSched), falling back to the pointer/heap
+	// reference scheduler. Bit-identical either way; for debugging and the
+	// fast-path equivalence test.
+	DisableBitsetSched bool
 
 	// Fig. 10 ablation switches — spec patches on the companion's TEA
 	// section (error on a TEA-less machine).
@@ -125,12 +136,13 @@ func (c Config) Observational() bool {
 // Memoizable reports whether an Engine may serve this run from its result
 // cache: the run must not be observational (the caller wants the
 // observation, not just the numbers), must not co-simulate or check
-// invariants (the caller wants the checking), and must not disable the
-// idle skip (the point of such a run is exercising the unskipped path).
-// Memoizable runs are keyed by (workload, mode, spec fingerprint, budget,
-// scale) — see Engine.
+// invariants (the caller wants the checking), and must not disable a
+// bit-identical fast path (the point of such a run is exercising the
+// reference path). Memoizable runs are keyed by (workload, mode, spec
+// fingerprint, budget, scale) — see Engine.
 func (c Config) Memoizable() bool {
-	return !c.Observational() && !c.CoSim && !c.DisableIdleSkip && !c.Paranoia
+	return !c.Observational() && !c.CoSim && !c.DisableIdleSkip &&
+		!c.DisableBlockCache && !c.DisableBitsetSched && !c.Paranoia
 }
 
 // Result reports one run's performance and precomputation metrics. It
@@ -256,6 +268,8 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 	pcfg := pipelineConfig(&machine)
 	pcfg.CoSim = cfg.CoSim
 	pcfg.NoIdleSkip = cfg.DisableIdleSkip
+	pcfg.NoBlockCache = cfg.DisableBlockCache
+	pcfg.NoBitsetSched = cfg.DisableBitsetSched
 	pcfg.MaxInstructions = cfg.MaxInstructions
 	pcfg.MaxCycles = 400_000_000
 	pcfg.Paranoia = cfg.Paranoia

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 tier2 lint race bench bench-smoke bench-compare bench-experiments paranoia fuzz-smoke profile-cpu profile-mem clean
+.PHONY: all build test tier1 tier2 lint race bench bench-smoke bench-compare bench-experiments paranoia fuzz-smoke daemon-smoke profile-cpu profile-mem clean
 
 all: tier1
 
@@ -27,7 +27,7 @@ lint:
 # Includes TestEngineDeterminismAcrossWorkers, which drives real simulations
 # through the 8-worker pool and compares rows against a sequential run.
 tier2:
-	$(GO) vet ./... && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) test -race -timeout 30m ./...
 
 race: tier2
 
@@ -72,6 +72,13 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./tea/spec -run '^$$' -fuzz FuzzValidate -fuzztime $(FUZZTIME)
 	$(GO) test ./tea/spec -run '^$$' -fuzz FuzzSetPatch -fuzztime $(FUZZTIME)
+
+# Daemon smoke: boot teasrvd, POST a tiny Fig 8 matrix, and assert the
+# served report is byte-identical to the direct library run, a re-POST is
+# served entirely from the result store, and SIGTERM drains cleanly
+# (see scripts/daemon_smoke.sh; CI runs this as its own job).
+daemon-smoke:
+	sh scripts/daemon_smoke.sh
 
 # Profiling workflow (see README "Profiling and parallelism"): run an
 # experiment under the profiler, then inspect with `go tool pprof`.

@@ -13,9 +13,12 @@
 //	teaexp -config machine.json               # custom machine point vs baseline
 //	teaexp -set companion.kind=tea -set companion.tea.fill_buf_size=1024
 //
-// Experiments: fig5 fig6 fig7 fig8 fig9 fig10 table3 prefetchonly tables all,
-// plus sensitivity sweeps: sens-blockcache, sens-fillbuffer, sens-h2pdecay,
-// sens-lead, sens-fetchqueue.
+// Experiments come from the tea experiment registry (tea.Experiments):
+// fig5 fig6 fig7 fig8 fig9 fig9big fig10 table3 prefetchonly wide16 custom,
+// plus sensitivity sweeps (sens-blockcache, sens-fillbuffer, sens-h2pdecay,
+// sens-lead, sens-fetchqueue) and the synthetic ids tables and all. The
+// same registry backs the teasrvd daemon, so CLI and service output are
+// byte-identical for the same request.
 //
 // -config loads a machine spec JSON file (see tea/spec; the committed preset
 // goldens under tea/spec/testdata/specs are ready-made starting points) and
@@ -42,6 +45,10 @@
 // Ctrl-C (SIGINT) stops cleanly: in-flight cells finish, the journal is
 // flushed, and the process exits 130; a -resume rerun picks up exactly the
 // cells that were still missing.
+//
+// Exit codes: 0 success, 1 run failure, 2 usage error, 3 success with
+// quarantined error rows (-partial emitted at least one ERROR row), 130
+// interrupted.
 package main
 
 import (
@@ -77,7 +84,7 @@ func (l *stringList) Set(v string) error {
 // it separate from main lets deferred profile writers flush on every path.
 func realMain() int {
 	var (
-		exp      = flag.String("exp", "fig5", "experiment id (fig5..fig10, table3, prefetchonly, tables, all)")
+		exp      = flag.String("exp", "fig5", "experiment id from the tea registry (fig5..fig10, table3, prefetchonly, sens-*), or tables / all")
 		n        = flag.Uint64("n", 1_000_000, "max instructions per run")
 		scale    = flag.Int("scale", 1, "workload input scale")
 		wl       = flag.String("w", "", "comma-separated workload subset (default all)")
@@ -158,16 +165,17 @@ func realMain() int {
 
 	// One engine for the whole invocation: `-exp all` shares every
 	// (workload, budget, scale) baseline across figures.
-	eng := tea.NewEngine(*workers)
+	var engOpts []tea.EngineOption
 	if *jobTO != 0 || *hangTO != 0 || *retries != 0 || *reproDir != "" {
-		eng.SetPolicy(tea.JobPolicy{
+		engOpts = append(engOpts, tea.WithPolicy(tea.JobPolicy{
 			Timeout:      *jobTO,
 			HangTimeout:  *hangTO,
 			Retries:      *retries,
 			RetryBackoff: 100 * time.Millisecond,
 			ReproDir:     *reproDir,
-		})
+		}))
 	}
+	var resumed []tea.JournalRecord
 	if *journal != "" {
 		if *resume {
 			recs, dropped, err := tea.ReadJournal(*journal)
@@ -175,8 +183,8 @@ func realMain() int {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
 			}
-			seeded := eng.SeedJournal(recs)
-			fmt.Fprintf(os.Stderr, "[journal: resumed %d cells (%d corrupt records dropped)]\n", seeded, dropped)
+			resumed = recs
+			fmt.Fprintf(os.Stderr, "[journal: read %d cells (%d corrupt records dropped)]\n", len(recs), dropped)
 		}
 		j, err := tea.OpenJournal(*journal)
 		if err != nil {
@@ -184,10 +192,10 @@ func realMain() int {
 			return 1
 		}
 		defer j.Close()
-		eng.SetJournal(j)
+		engOpts = append(engOpts, tea.WithJournal(j))
 	}
 	if *progress {
-		eng.SetProgress(func(ev tea.JobEvent) {
+		engOpts = append(engOpts, tea.WithProgress(func(ev tea.JobEvent) {
 			switch ev.Phase {
 			case tea.JobStarted:
 				fmt.Fprintf(os.Stderr, "[job %d] %s/%s started\n", ev.Index, ev.Job.Workload, ev.Job.Cfg.Mode)
@@ -199,7 +207,12 @@ func realMain() int {
 				fmt.Fprintf(os.Stderr, "[job %d] %s/%s %s in %v\n", ev.Index, ev.Job.Workload, ev.Job.Cfg.Mode,
 					status, ev.Wall.Round(time.Millisecond))
 			}
-		})
+		}))
+	}
+	eng := tea.NewEngine(*workers, engOpts...)
+	if len(resumed) > 0 {
+		seeded := eng.SeedJournal(resumed)
+		fmt.Fprintf(os.Stderr, "[journal: resumed %d cells]\n", seeded)
 	}
 	opts := tea.ExpOptions{
 		MaxInstructions: *n,
@@ -222,44 +235,29 @@ func realMain() int {
 		opts.TraceOut = traces.open
 	}
 
-	if *config != "" || len(sets) > 0 {
-		var machine *spec.MachineSpec
+	ids := []string{*exp}
+	switch {
+	case *config != "" || len(sets) > 0:
+		// A custom machine point replaces -exp: it dispatches through the
+		// registry like every other experiment.
 		if *config != "" {
 			s, err := spec.Load(*config)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 2
 			}
-			machine = &s
+			opts.Spec = &s
 		}
-		start := time.Now()
-		rows, err := tea.Custom(machine, sets, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			if errors.Is(err, context.Canceled) {
-				return 130
-			}
-			return 1
-		}
-		title := "Custom machine point vs baseline"
-		if *config != "" {
-			title = fmt.Sprintf("Custom machine point (%s) vs baseline", *config)
-		}
-		if err := tea.WriteSpeedups(os.Stdout, outFmt, title, rows); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		fmt.Fprintf(os.Stderr, "[custom done in %v]\n", time.Since(start).Round(time.Second))
-		return 0
-	}
-
-	ids := []string{*exp}
-	if *exp == "all" {
+		opts.Set = sets
+		ids = []string{"custom"}
+	case *exp == "all":
 		ids = []string{"tables", "fig5", "fig6", "fig7", "fig8", "fig9", "fig9big", "fig10", "table3", "prefetchonly", "wide16"}
 	}
+	errRows := 0
 	for _, id := range ids {
 		start := time.Now()
-		if err := runExp(id, outFmt, opts); err != nil {
+		rep, err := runExp(ctx, id, outFmt, opts)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			if errors.Is(err, context.Canceled) {
 				if *journal != "" {
@@ -268,6 +266,9 @@ func realMain() int {
 				return 130
 			}
 			return 1
+		}
+		if rep != nil {
+			errRows += rep.ErrorRows()
 		}
 		// In text mode the timing line is part of the report stream (and of
 		// the CLI's stable output); in data formats it moves to stderr so
@@ -287,6 +288,12 @@ func realMain() int {
 	}
 	ms := eng.MemoStats()
 	fmt.Fprintf(os.Stderr, "[memo: %d simulated, %d seeded, %d hits]\n", ms.Entries-ms.Seeded, ms.Seeded, ms.Hits)
+	// Under -partial, quarantined cells were deliberately tolerated but must
+	// still be visible to scripts: succeed, distinctly.
+	if *partial && errRows > 0 {
+		fmt.Fprintf(os.Stderr, "[partial: %d quarantined error rows]\n", errRows)
+		return 3
+	}
 	return 0
 }
 
@@ -333,85 +340,23 @@ func (t *traceFiles) closeAll() error {
 	return t.err
 }
 
-func runExp(id string, f tea.Format, opts tea.ExpOptions) error {
-	switch id {
-	case "tables":
+// runExp dispatches one experiment through the tea registry and renders its
+// report to stdout. The returned report lets the caller count quarantined
+// error rows for the -partial exit code ("tables" has none and returns nil).
+func runExp(ctx context.Context, id string, f tea.Format, opts tea.ExpOptions) (*tea.Report, error) {
+	if id == "tables" {
 		if f != tea.FormatText {
 			fmt.Fprintln(os.Stderr, "[tables are text-only; skipped]")
-			return nil
+			return nil, nil
 		}
 		printConfigTables()
-		return nil
-	case "fig5":
-		rows, err := tea.Fig5(opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteSpeedups(os.Stdout, f, "Fig 5: TEA thread speedup over baseline (paper geomean +10.1%)", rows)
-	case "fig6":
-		rows, err := tea.Fig6(opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteFig6(os.Stdout, f, rows)
-	case "fig7":
-		rows, err := tea.Fig7(opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteFig7(os.Stdout, f, rows)
-	case "fig8":
-		rows, err := tea.Fig8(opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteFig8(os.Stdout, f, rows)
-	case "fig9":
-		rows, err := tea.Fig9(opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteSpeedups(os.Stdout, f, "Fig 9: TEA on a dedicated execution engine (paper geomean +12.3%)", rows)
-	case "fig9big":
-		rows, err := tea.Fig9Big(opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteSpeedups(os.Stdout, f, "§V-D: TEA on a main-core-sized engine (paper geomean +12.8%)", rows)
-	case "wide16":
-		rows, err := tea.Wide16(opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteSpeedups(os.Stdout, f, "§IV-H: 16-wide frontend, no precomputation (paper ~+2.8%)", rows)
-	case "fig10":
-		rows, err := tea.Fig10(opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteFig10(os.Stdout, f, rows)
-	case "table3":
-		rows, err := tea.Table3(opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteTable3(os.Stdout, f, rows)
-	case "prefetchonly":
-		rows, err := tea.PrefetchOnly(opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteSpeedups(os.Stdout, f, "§V-B aside: early resolution disabled (prefetch effect only; paper +1.2%)", rows)
-	case "sens-blockcache", "sens-fillbuffer", "sens-h2pdecay", "sens-lead", "sens-fetchqueue":
-		p := tea.SensParam(strings.TrimPrefix(id, "sens-"))
-		rows, err := tea.Sensitivity(p, nil, opts)
-		if err != nil {
-			return err
-		}
-		return tea.WriteSensitivity(os.Stdout, f, p, rows)
-	default:
-		return fmt.Errorf("unknown experiment %q", id)
+		return nil, nil
 	}
+	rep, err := tea.RunExperiment(ctx, id, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rep, rep.Write(os.Stdout, f)
 }
 
 func printConfigTables() {

@@ -15,7 +15,10 @@
 //     runs must use one sink per run.
 package telemetry
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Counter is a monotonically increasing metric.
 type Counter struct {
@@ -30,6 +33,23 @@ func (c *Counter) Add(n uint64) { c.v += n }
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v }
+
+// SyncCounter is a Counter safe for concurrent use. The simulator's own
+// metrics stay on the unsynchronized Counter (one Registry per simulated
+// core, by design); SyncCounter exists for request-level metrics shared
+// across goroutines, like the serve daemon's admission and store counters.
+type SyncCounter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *SyncCounter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *SyncCounter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *SyncCounter) Value() uint64 { return c.v.Load() }
 
 // Gauge is an instantaneous value.
 type Gauge struct {

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Daemon smoke test (CI: daemon-smoke job; locally: make daemon-smoke).
+#
+# Boots teasrvd with a fresh store, POSTs a tiny Fig 8 matrix, and checks
+# the service's three core promises end to end:
+#   1. the served CSV is byte-identical to the direct library run (teaexp
+#      dispatches through the same tea.RunExperiment registry call),
+#   2. a re-POST is served entirely from the content-addressed store
+#      (zero new simulations, per the X-Tea-Simulated header),
+#   3. SIGTERM drains cleanly (exit 0, store compacted).
+set -eux
+
+ADDR=127.0.0.1:18080
+BODY='{"experiment":"fig8","workloads":["bfs","mcf"],"max_instructions":200000,"format":"csv"}'
+
+go build -o teasrvd.bin ./cmd/teasrvd
+go build -o teaexp.bin ./cmd/teaexp
+
+rm -rf smoke-store
+./teasrvd.bin -listen "$ADDR" -store smoke-store 2> teasrvd.err &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+for i in $(seq 1 100); do
+    curl -sf "http://$ADDR/healthz" > /dev/null && break
+    sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" > /dev/null
+curl -sf "http://$ADDR/v1/experiments" | grep -q '"fig8"'
+
+# 1. Daemon report vs direct library run: byte-identical.
+curl -sf -D run1.hdr -o served.csv --data-binary "$BODY" "http://$ADDR/v1/run"
+./teaexp.bin -exp fig8 -w bfs,mcf -n 200000 -format csv > direct.csv 2> direct.err
+diff served.csv direct.csv
+
+# 2. Re-POST: same bytes, zero new simulations, every cell a store hit.
+curl -sf -D run2.hdr -o served2.csv --data-binary "$BODY" "http://$ADDR/v1/run"
+diff served.csv served2.csv
+grep 'X-Tea-Simulated: 0' run2.hdr
+grep 'X-Tea-Store-Hits: 6' run2.hdr
+
+# 3. SIGTERM: clean drain, exit 0.
+kill -TERM "$pid"
+wait "$pid"
+trap - EXIT
+grep 'drained cleanly' teasrvd.err
+
+rm -rf smoke-store teasrvd.bin teaexp.bin served.csv served2.csv direct.csv \
+    run1.hdr run2.hdr teasrvd.err direct.err
+echo "daemon smoke: OK"

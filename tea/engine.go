@@ -49,19 +49,71 @@ type Job struct {
 type Engine struct {
 	workers int
 
-	// runFn is the simulation entry point (tea.RunContext outside tests).
-	runFn func(context.Context, string, Config) (Result, error)
+	// runFn is the simulation entry point (tea.RunContext unless WithRunFunc
+	// or a test replaces it).
+	runFn RunFunc
 
 	mu      sync.Mutex
 	memo    map[memoKey]*memoEntry
 	hits    int
 	seeded  int
 	policy  JobPolicy
-	journal *Journal
+	journal JournalWriter
 	sink    telemetry.Sink
 
 	pmu      sync.Mutex // serializes progress callbacks
 	progress func(JobEvent)
+}
+
+// RunFunc is the engine's simulation entry point: it simulates one workload
+// under one configuration. The default is RunContext; WithRunFunc replaces it
+// for callers that layer extra result sources underneath the engine (the
+// serve daemon's content-addressed store) or stub simulation in tests.
+type RunFunc func(ctx context.Context, workload string, cfg Config) (Result, error)
+
+// JournalWriter persists freshly simulated memoizable cells. *Journal is the
+// single-file implementation; tea/store's sharded content-addressed store is
+// another.
+type JournalWriter interface {
+	Append(JournalRecord) error
+}
+
+// EngineOption configures an Engine at construction (NewEngine).
+type EngineOption func(*Engine)
+
+// WithPolicy sets the failure-handling policy for the engine's jobs.
+func WithPolicy(p JobPolicy) EngineOption {
+	return func(e *Engine) { e.policy = p }
+}
+
+// WithJournal attaches a journal: every memoizable cell the engine freshly
+// simulates is durably appended after it completes. Journal write failures
+// surface as the job's error — a suite that cannot checkpoint should fail
+// loudly, not silently lose its resumability.
+func WithJournal(j JournalWriter) EngineOption {
+	return func(e *Engine) { e.journal = j }
+}
+
+// WithTelemetry attaches a sink that receives an EvJobFailure event for
+// every failed job attempt, making post-hoc failure diagnosis possible even
+// when the process's stderr is gone.
+func WithTelemetry(s telemetry.Sink) EngineOption {
+	return func(e *Engine) { e.sink = s }
+}
+
+// WithProgress installs a callback invoked at the start and end of every job
+// a Map or MapContext call runs. Callbacks are serialized — they may safely
+// write to a terminal or mutate shared state — and run on worker goroutines,
+// so they should return quickly.
+func WithProgress(fn func(JobEvent)) EngineOption {
+	return func(e *Engine) { e.progress = fn }
+}
+
+// WithRunFunc replaces the engine's simulation entry point (default
+// RunContext). The engine's memoization, policy, and journaling layer on top
+// of whatever fn returns.
+func WithRunFunc(fn RunFunc) EngineOption {
+	return func(e *Engine) { e.runFn = fn }
 }
 
 // JobPhase tags a progress notification.
@@ -95,10 +147,10 @@ type JobEvent struct {
 	Wall  time.Duration // wall time, JobDone only (near-zero for memo hits)
 }
 
-// SetProgress installs a callback invoked at the start and end of every job
-// a Map or MapContext call runs. Callbacks are serialized — they may safely
-// write to a terminal or mutate shared state — and run on worker
-// goroutines, so they should return quickly. Pass nil to remove.
+// SetProgress installs a progress callback after construction. Pass nil to
+// remove.
+//
+// Deprecated: pass WithProgress to NewEngine instead.
 func (e *Engine) SetProgress(fn func(JobEvent)) {
 	e.pmu.Lock()
 	e.progress = fn
@@ -142,15 +194,18 @@ type JobPolicy struct {
 }
 
 // SetPolicy installs the failure-handling policy for subsequent jobs.
+//
+// Deprecated: pass WithPolicy to NewEngine instead.
 func (e *Engine) SetPolicy(p JobPolicy) {
 	e.mu.Lock()
 	e.policy = p
 	e.mu.Unlock()
 }
 
-// SetTelemetry attaches a sink that receives an EvJobFailure event for every
-// failed job attempt, making post-hoc failure diagnosis possible even when
-// the process's stderr is gone. Pass nil to detach.
+// SetTelemetry attaches a failure-event sink after construction. Pass nil to
+// detach.
+//
+// Deprecated: pass WithTelemetry to NewEngine instead.
 func (e *Engine) SetTelemetry(s telemetry.Sink) {
 	e.mu.Lock()
 	e.sink = s
@@ -192,16 +247,22 @@ func DefaultWorkers() int {
 }
 
 // NewEngine builds an engine with the given worker-pool bound
-// (workers <= 0 selects DefaultWorkers).
-func NewEngine(workers int) *Engine {
+// (workers <= 0 selects DefaultWorkers) and the given options applied:
+//
+//	eng := tea.NewEngine(0, tea.WithPolicy(policy), tea.WithJournal(j))
+func NewEngine(workers int, opts ...EngineOption) *Engine {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	return &Engine{
+	e := &Engine{
 		workers: workers,
 		runFn:   RunContext,
 		memo:    make(map[memoKey]*memoEntry),
 	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Workers reports the engine's worker-pool bound.
@@ -225,13 +286,17 @@ func (e *Engine) MemoStats() MemoStats {
 	return MemoStats{Entries: len(e.memo), Hits: e.hits, Seeded: e.seeded}
 }
 
-// SetJournal attaches a journal: every memoizable cell the engine freshly
-// simulates from now on is durably appended after it completes. Pass nil to
-// detach. Journal write failures surface as the job's error — a suite that
-// cannot checkpoint should fail loudly, not silently lose its resumability.
+// SetJournal attaches a journal after construction. Pass nil to detach.
+//
+// Deprecated: pass WithJournal to NewEngine instead (it also accepts any
+// JournalWriter, not just *Journal).
 func (e *Engine) SetJournal(j *Journal) {
 	e.mu.Lock()
-	e.journal = j
+	if j == nil {
+		e.journal = nil
+	} else {
+		e.journal = j
+	}
 	e.mu.Unlock()
 }
 

@@ -1,6 +1,7 @@
 package tea
 
 import (
+	"context"
 	"math"
 
 	"teasim/tea/spec"
@@ -32,8 +33,9 @@ type SpeedupRow struct {
 
 // runSpeedups measures cycles(baseline)/cycles(mode) per workload. Every
 // cell is an independent engine job; baselines come from the engine's memo
-// cache when another experiment on the same engine already ran them.
-func runSpeedups(o ExpOptions, mode Mode, modeCfg func(Config) Config) ([]SpeedupRow, error) {
+// cache when another experiment on the same engine already ran them. Like
+// every runner it is context-first: ctx cancels the batch cooperatively.
+func runSpeedups(ctx context.Context, o ExpOptions, mode Mode, modeCfg func(Config) Config) ([]SpeedupRow, error) {
 	jobs := make([]Job, 0, 2*len(o.Workloads))
 	for _, name := range o.Workloads {
 		cfg := o.cfg(mode)
@@ -42,7 +44,7 @@ func runSpeedups(o ExpOptions, mode Mode, modeCfg func(Config) Config) ([]Speedu
 		}
 		jobs = append(jobs, o.job(name, o.cfg(ModeBaseline)), o.job(name, cfg))
 	}
-	res, err := o.mapJobs(jobs)
+	res, err := o.mapJobs(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -65,31 +67,32 @@ func runSpeedups(o ExpOptions, mode Mode, modeCfg func(Config) Config) ([]Speedu
 
 // runAll dispatches one run per workload under cfg and returns the results
 // in workload order.
-func runAll(o ExpOptions, cfg Config) ([]Result, error) {
+func runAll(ctx context.Context, o ExpOptions, cfg Config) ([]Result, error) {
 	jobs := make([]Job, 0, len(o.Workloads))
 	for _, name := range o.Workloads {
 		jobs = append(jobs, o.job(name, cfg))
 	}
-	return o.mapJobs(jobs)
+	return o.mapJobs(ctx, jobs)
 }
 
 // Fig5 reproduces Fig. 5: per-benchmark performance of the on-core TEA
 // thread over the baseline (paper geomean: +10.1%).
 func Fig5(o ExpOptions) ([]SpeedupRow, error) {
-	return runSpeedups(o.fill(), ModeTEA, nil)
+	o = o.fill()
+	return runSpeedups(o.ctx(), o, ModeTEA, nil)
 }
 
 // Fig6 reproduces Fig. 6: total branch MPKI per benchmark on the baseline.
 func Fig6(o ExpOptions) ([]Result, error) {
 	o = o.fill()
-	return runAll(o, o.cfg(ModeBaseline))
+	return runAll(o.ctx(), o, o.cfg(ModeBaseline))
 }
 
 // Fig7 reproduces Fig. 7: the breakdown of retired mispredictions into
 // covered / late / incorrect / uncovered under the TEA thread.
 func Fig7(o ExpOptions) ([]Result, error) {
 	o = o.fill()
-	return runAll(o, o.cfg(ModeTEA))
+	return runAll(o.ctx(), o, o.cfg(ModeTEA))
 }
 
 // Fig8Row pairs the TEA and Branch Runahead speedups for one workload.
@@ -112,11 +115,12 @@ type Fig8Row struct {
 // rather than once per mode.
 func Fig8(o ExpOptions) ([]Fig8Row, error) {
 	o = o.fill()
-	teaRows, err := runSpeedups(o, ModeTEA, nil)
+	ctx := o.ctx()
+	teaRows, err := runSpeedups(ctx, o, ModeTEA, nil)
 	if err != nil {
 		return nil, err
 	}
-	brRows, err := runSpeedups(o, ModeBranchRunahead, nil)
+	brRows, err := runSpeedups(ctx, o, ModeBranchRunahead, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -143,21 +147,24 @@ func Fig8(o ExpOptions) ([]Fig8Row, error) {
 // Fig9 reproduces Fig. 9: the TEA thread on a dedicated execution engine
 // (paper: 12.3% vs 10.1% on-core).
 func Fig9(o ExpOptions) ([]SpeedupRow, error) {
-	return runSpeedups(o.fill(), ModeTEADedicated, nil)
+	o = o.fill()
+	return runSpeedups(o.ctx(), o, ModeTEADedicated, nil)
 }
 
 // Fig9Big reproduces §V-D's second data point: the TEA thread on an
 // execution engine as large as the main core's backend (paper: +12.8%,
 // "very little additional benefit" over the 16-unit engine).
 func Fig9Big(o ExpOptions) ([]SpeedupRow, error) {
-	return runSpeedups(o.fill(), ModeTEABigEngine, nil)
+	o = o.fill()
+	return runSpeedups(o.ctx(), o, ModeTEABigEngine, nil)
 }
 
 // Wide16 reproduces §IV-H's comparison point: a true 16-wide frontend
 // without precomputation (paper: ~+2.8% for ~10% more area, versus the TEA
 // thread's +10.1% for ~3.5%).
 func Wide16(o ExpOptions) ([]SpeedupRow, error) {
-	return runSpeedups(o.fill(), ModeWide16, nil)
+	o = o.fill()
+	return runSpeedups(o.ctx(), o, ModeWide16, nil)
 }
 
 // Fig10Config identifies one bar group of Fig. 10.
@@ -208,7 +215,7 @@ func Fig10(o ExpOptions) ([]Fig10Row, error) {
 			jobs = append(jobs, o.job(name, fc.Cfg(o.cfg(fc.Mode))))
 		}
 	}
-	res, err := o.mapJobs(jobs)
+	res, err := o.mapJobs(o.ctx(), jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +247,7 @@ func Table3(o ExpOptions) ([]Result, error) {
 // disabled, isolating the data-prefetch side effect (paper: +1.2% overall).
 func PrefetchOnly(o ExpOptions) ([]SpeedupRow, error) {
 	o = o.fill()
-	return runSpeedups(o, ModeTEA, func(c Config) Config {
+	return runSpeedups(o.ctx(), o, ModeTEA, func(c Config) Config {
 		c.DisableEarlyFlush = true
 		return c
 	})
@@ -256,7 +263,8 @@ func Custom(machine *spec.MachineSpec, patches []string, o ExpOptions) ([]Speedu
 	if err != nil {
 		return nil, err
 	}
-	return runSpeedups(o.fill(), ModeBaseline, func(c Config) Config {
+	o = o.fill()
+	return runSpeedups(o.ctx(), o, ModeBaseline, func(c Config) Config {
 		c.Spec = &resolved
 		return c
 	})

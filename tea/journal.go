@@ -46,6 +46,29 @@ func recordChecksum(rec JournalRecord) (string, error) {
 	return strconv.FormatUint(h.Sum64(), 16), nil
 }
 
+// Seal returns the record with its format version and checksum filled,
+// ready to be persisted. Journal.Append seals automatically; external
+// persistence layers (tea/store) seal before writing their own framing.
+func (r JournalRecord) Seal() (JournalRecord, error) {
+	r.V = journalVersion
+	sum, err := recordChecksum(r)
+	if err != nil {
+		return JournalRecord{}, err
+	}
+	r.Checksum = sum
+	return r, nil
+}
+
+// Verify reports whether the record is intact: the known format version and
+// a checksum matching its contents. Torn or bit-rotted records verify false.
+func (r JournalRecord) Verify() bool {
+	if r.V != journalVersion || r.Checksum == "" {
+		return false
+	}
+	sum, err := recordChecksum(r)
+	return err == nil && sum == r.Checksum
+}
+
 // Journal is a crash-safe append-only results log. Every Append marshals one
 // record, writes it as a single line, and fsyncs, so a completed cell is
 // durable before the engine reports it. A Journal is safe for concurrent use
@@ -68,12 +91,10 @@ func OpenJournal(path string) (*Journal, error) {
 
 // Append durably writes one record: checksum, single-line JSON, fsync.
 func (j *Journal) Append(rec JournalRecord) error {
-	rec.V = journalVersion
-	sum, err := recordChecksum(rec)
+	rec, err := rec.Seal()
 	if err != nil {
 		return fmt.Errorf("tea: journal append: %w", err)
 	}
-	rec.Checksum = sum
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("tea: journal append: %w", err)
@@ -120,13 +141,7 @@ func ReadJournal(path string) (recs []JournalRecord, dropped int, err error) {
 			continue
 		}
 		var rec JournalRecord
-		if json.Unmarshal(line, &rec) != nil || rec.V != journalVersion {
-			dropped++
-			continue
-		}
-		want := rec.Checksum
-		sum, cerr := recordChecksum(rec)
-		if cerr != nil || want == "" || sum != want {
+		if json.Unmarshal(line, &rec) != nil || !rec.Verify() {
 			dropped++
 			continue
 		}

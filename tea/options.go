@@ -3,6 +3,8 @@ package tea
 import (
 	"context"
 	"io"
+
+	"teasim/tea/spec"
 )
 
 // ExpOptions scopes an experiment reproduction run. The zero value selects
@@ -36,6 +38,14 @@ type ExpOptions struct {
 	// cell (nil return = no trace for that cell). Cells run concurrently, so
 	// the factory must hand every cell its own writer.
 	TraceOut func(workload string, mode Mode) io.Writer
+
+	// Spec supplies the machine point for the "custom" experiment (nil = the
+	// baseline preset); other experiments derive their machines from their
+	// modes and ignore it.
+	Spec *spec.MachineSpec
+	// Set holds dotted-path spec patches for the "custom" experiment, applied
+	// on top of Spec (see Config.Set).
+	Set []string
 
 	// Ctx cancels the experiment cooperatively (nil = context.Background()):
 	// completed cells keep their results, in-flight cells finish, and the
@@ -107,6 +117,16 @@ func WithTraceOut(fn func(workload string, mode Mode) io.Writer) ExpOption {
 	return func(o *ExpOptions) { o.TraceOut = fn }
 }
 
+// WithSpec supplies the machine point for the "custom" experiment.
+func WithSpec(s *spec.MachineSpec) ExpOption {
+	return func(o *ExpOptions) { o.Spec = s }
+}
+
+// WithSet adds dotted-path spec patches for the "custom" experiment.
+func WithSet(patches ...string) ExpOption {
+	return func(o *ExpOptions) { o.Set = append(o.Set, patches...) }
+}
+
 // WithContext cancels the experiment cooperatively through ctx.
 func WithContext(ctx context.Context) ExpOption {
 	return func(o *ExpOptions) { o.Ctx = ctx }
@@ -160,17 +180,22 @@ func (o ExpOptions) job(name string, cfg Config) Job {
 	return Job{name, cfg}
 }
 
-// mapJobs dispatches an experiment's jobs under the options' context and
-// failure semantics. Without Partial it behaves exactly like Engine.Map:
-// the first (lowest-index) failure aborts with an error. With Partial,
-// failing cells come back as zero Results annotated with Err, so the
-// experiment still renders every healthy row; only context cancellation is
-// an error.
-func (o ExpOptions) mapJobs(jobs []Job) ([]Result, error) {
-	ctx := o.Ctx
-	if ctx == nil {
-		ctx = context.Background()
+// ctx resolves the experiment's context (nil Ctx = context.Background()).
+// Every experiment runner threads this value explicitly — context-first,
+// like Run/RunContext — rather than re-reading the struct field.
+func (o ExpOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
 	}
+	return context.Background()
+}
+
+// mapJobs dispatches an experiment's jobs under ctx and the options' failure
+// semantics. Without Partial it behaves exactly like Engine.Map: the first
+// (lowest-index) failure aborts with an error. With Partial, failing cells
+// come back as zero Results annotated with Err, so the experiment still
+// renders every healthy row; only context cancellation is an error.
+func (o ExpOptions) mapJobs(ctx context.Context, jobs []Job) ([]Result, error) {
 	if !o.Partial {
 		return o.Engine.MapContext(ctx, jobs)
 	}

@@ -110,6 +110,47 @@ func (r report) write(w io.Writer, f Format) error {
 	return fmt.Errorf("tea: unknown format %d", int(f))
 }
 
+// errorRows counts quarantined ERROR rows (errRow output) in the report.
+func (r report) errorRows() int {
+	n := 0
+	for _, row := range r.rows {
+		for _, cell := range row {
+			if strings.HasPrefix(cell, "ERROR: ") {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Report is a rendered-ready experiment outcome: the uniform row schema
+// every registered experiment returns (see RunExperiment). One Report
+// carries the title, header, formatted cells, and structured rows, so all
+// three Write* formats derive from the same data and can never drift apart.
+type Report struct {
+	rep report
+}
+
+// Title returns the report's title line.
+func (r *Report) Title() string { return r.rep.title }
+
+// Columns returns the report's column headers.
+func (r *Report) Columns() []string { return append([]string(nil), r.rep.header...) }
+
+// Rows returns the structured experiment rows ([]SpeedupRow, []Result,
+// []Fig8Row, ... depending on the experiment).
+func (r *Report) Rows() any { return r.rep.data }
+
+// ErrorRows counts quarantined ERROR rows (ExpOptions.Partial): cells that
+// failed and were excluded from the report's aggregates. Callers that need a
+// degraded run to be machine-detectable (teaexp -partial's exit status, the
+// serve daemon's response headers) key off this count.
+func (r *Report) ErrorRows() int { return r.rep.errorRows() }
+
+// Write renders the report in the requested format.
+func (r *Report) Write(w io.Writer, f Format) error { return r.rep.write(w, f) }
+
 // pct formats a signed percentage delta from a ratio (1.0 -> "+0.0%").
 func pct(ratio float64) string { return fmt.Sprintf("%+.1f%%", 100*(ratio-1)) }
 

@@ -102,7 +102,7 @@ func Sensitivity(p SensParam, values []int, opts ExpOptions) ([]SensRow, error) 
 			jobs = append(jobs, opts.job(name, cfg))
 		}
 	}
-	res, err := opts.mapJobs(jobs)
+	res, err := opts.mapJobs(opts.ctx(), jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Admission errors. Both map to 429 with a Retry-After; they are distinct so
+// the response (and the metrics) can say whether the caller hit their own
+// quota or the server's capacity.
+type quotaError struct{ client string }
+
+func (e quotaError) Error() string {
+	return fmt.Sprintf("serve: client %q is at its in-flight request quota", e.client)
+}
+
+type busyError struct{}
+
+func (busyError) Error() string {
+	return "serve: job queue full"
+}
+
+// admission is the server's admission controller: a bounded run semaphore
+// with a bounded wait queue on top, plus per-client in-flight quotas.
+// Requests beyond the queue bound — or beyond a client's quota — are
+// rejected immediately with 429 semantics rather than piling onto the
+// daemon, which is what keeps one greedy client (or a traffic spike) from
+// turning into unbounded memory and latency for everyone else.
+type admission struct {
+	slots    chan struct{} // capacity = max concurrently running requests
+	queueMax int           // max requests waiting for a slot
+	quota    int           // max in-flight (running + queued) per client, 0 = unlimited
+
+	mu       sync.Mutex
+	waiting  int
+	inflight map[string]int
+}
+
+// newAdmission builds the controller (maxRunning and queueMax already
+// defaulted by the server config).
+func newAdmission(maxRunning, queueMax, quota int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxRunning),
+		queueMax: queueMax,
+		quota:    quota,
+		inflight: make(map[string]int),
+	}
+}
+
+// acquire admits one request for client, blocking in the bounded queue if
+// all run slots are busy. It returns a release func on success, or a
+// quotaError / busyError for an immediate 429, or ctx.Err() if the caller
+// gave up while queued.
+func (a *admission) acquire(ctx context.Context, client string) (func(), error) {
+	a.mu.Lock()
+	if a.quota > 0 && a.inflight[client] >= a.quota {
+		a.mu.Unlock()
+		return nil, quotaError{client}
+	}
+	a.inflight[client]++
+	a.mu.Unlock()
+
+	releaseClient := func() {
+		a.mu.Lock()
+		if a.inflight[client]--; a.inflight[client] <= 0 {
+			delete(a.inflight, client)
+		}
+		a.mu.Unlock()
+	}
+
+	select {
+	case a.slots <- struct{}{}: // free slot, no queueing
+	default:
+		a.mu.Lock()
+		if a.waiting >= a.queueMax {
+			a.mu.Unlock()
+			releaseClient()
+			return nil, busyError{}
+		}
+		a.waiting++
+		a.mu.Unlock()
+		select {
+		case a.slots <- struct{}{}:
+			a.mu.Lock()
+			a.waiting--
+			a.mu.Unlock()
+		case <-ctx.Done():
+			a.mu.Lock()
+			a.waiting--
+			a.mu.Unlock()
+			releaseClient()
+			return nil, ctx.Err()
+		}
+	}
+	return func() {
+		<-a.slots
+		releaseClient()
+	}, nil
+}
+
+// depth reports the current queue occupancy (for /statz).
+func (a *admission) depth() (running, waiting int) {
+	a.mu.Lock()
+	waiting = a.waiting
+	a.mu.Unlock()
+	return len(a.slots), waiting
+}

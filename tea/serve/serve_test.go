@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"teasim/tea"
+	"teasim/tea/store"
+)
+
+// stubRun is a deterministic fake simulation: cycles depend only on the
+// workload name and mode, so reports built from it are stable bytes.
+func stubRun(ctx context.Context, workload string, cfg tea.Config) (tea.Result, error) {
+	cyc := uint64(1000 + 10*len(workload))
+	if cfg.Mode != tea.ModeBaseline {
+		cyc -= 100
+	}
+	return tea.Result{
+		Workload:     workload,
+		Mode:         cfg.Mode,
+		Cycles:       cyc,
+		Instructions: 5000,
+		IPC:          5000 / float64(cyc),
+		Coverage:     0.5,
+		Accuracy:     0.9,
+	}, nil
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postRun(t *testing.T, url string, req Request, hdr map[string]string) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, url+"/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hr.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestCatalogAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, Config{RunFunc: stubRun})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readBody(t, resp); resp.StatusCode != 200 || got != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, got)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := readBody(t, resp)
+	for _, want := range []string{`"fig5"`, `"fig8"`, `"table3"`, `"custom"`} {
+		if !strings.Contains(catalog, want) {
+			t.Errorf("catalog missing %s:\n%s", want, catalog)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{RunFunc: stubRun, DefaultInstructions: 1000, MaxInstructions: 50_000})
+
+	cases := []struct {
+		name string
+		req  Request
+		want string // substring of the 400 body
+	}{
+		{"unknown experiment", Request{Experiment: "fig99"}, "unknown experiment"},
+		{"missing experiment", Request{}, "missing experiment"},
+		{"unknown workload", Request{Experiment: "fig5", Workloads: []string{"doom"}}, "unknown workload"},
+		{"bad format", Request{Experiment: "fig5", Format: "yaml"}, "format"},
+		{"budget over cap", Request{Experiment: "fig5", MaxInstructions: 60_000}, "per-cell cap"},
+		{"negative scale", Request{Experiment: "fig5", Scale: -1}, "scale"},
+		{"preset on non-custom", Request{Experiment: "fig5", Preset: "tea"}, "only apply"},
+		{"patches on non-custom", Request{Experiment: "fig6", Patches: []string{"tea.lead=5"}}, "only apply"},
+		{"unknown preset", Request{Experiment: "custom", Preset: "nope"}, "preset"},
+		{"spec and preset", Request{Experiment: "custom", Preset: "tea", Spec: json.RawMessage(`{}`)}, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postRun(t, ts.URL, tc.req, nil)
+			body := readBody(t, resp)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %q)", resp.StatusCode, body)
+			}
+			if !strings.Contains(body, tc.want) {
+				t.Errorf("body %q does not mention %q", body, tc.want)
+			}
+		})
+	}
+}
+
+// TestCoalescingAndStore is the dedup acceptance test: N identical
+// concurrent requests cost one simulation per distinct cell — every other
+// resolution is a store hit or rides an in-flight simulation — and a
+// follow-up re-POST is served entirely from the store.
+func TestCoalescingAndStore(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	srv, ts := newTestServer(t, Config{RunFunc: stubRun, Store: st, MaxConcurrent: 8})
+
+	req := Request{
+		Experiment:      "fig5",
+		Workloads:       []string{"bfs", "mcf"},
+		MaxInstructions: 10_000,
+		Format:          "csv",
+	}
+	const n = 4
+	const cells = 4 // 2 workloads x {baseline, tea}
+
+	var wg sync.WaitGroup
+	bodies := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := postRun(t, ts.URL, req, map[string]string{"X-Tea-Client": fmt.Sprintf("c%d", i)})
+			if resp.StatusCode != 200 {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+			bodies[i] = readBody(t, resp)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if bodies[i] != bodies[0] {
+			t.Errorf("request %d body differs from request 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	stats := srv.Stats()
+	if stats.Simulations != cells {
+		t.Errorf("Simulations = %d, want %d (one per distinct cell)", stats.Simulations, cells)
+	}
+	if got := stats.StoreHits + stats.Coalesced; got != (n-1)*cells {
+		t.Errorf("StoreHits+Coalesced = %d, want %d", got, (n-1)*cells)
+	}
+
+	// Re-POST: zero new simulations, everything from the store.
+	resp := postRun(t, ts.URL, req, nil)
+	body := readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("re-POST status %d: %s", resp.StatusCode, body)
+	}
+	if body != bodies[0] {
+		t.Errorf("re-POST body differs:\n%s\nvs\n%s", body, bodies[0])
+	}
+	if got := resp.Header.Get("X-Tea-Simulated"); got != "0" {
+		t.Errorf("re-POST X-Tea-Simulated = %s, want 0", got)
+	}
+	if got := resp.Header.Get("X-Tea-Store-Hits"); got != fmt.Sprint(cells) {
+		t.Errorf("re-POST X-Tea-Store-Hits = %s, want %d", got, cells)
+	}
+	if srv.Stats().Simulations != cells {
+		t.Errorf("re-POST simulated: Simulations = %d, want still %d", srv.Stats().Simulations, cells)
+	}
+}
+
+// blockingRun returns a RunFunc that signals each call on started and holds
+// until gate closes, for occupying the server's run slots deterministically.
+func blockingRun(started chan<- struct{}, gate <-chan struct{}) tea.RunFunc {
+	return func(ctx context.Context, workload string, cfg tea.Config) (tea.Result, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return tea.Result{}, ctx.Err()
+		}
+		return stubRun(ctx, workload, cfg)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestClientQuota429(t *testing.T) {
+	started := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	srv, ts := newTestServer(t, Config{
+		RunFunc:       blockingRun(started, gate),
+		MaxConcurrent: 1,
+		ClientQuota:   1,
+	})
+
+	req := Request{Experiment: "fig5", Workloads: []string{"bfs"}, MaxInstructions: 1000}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp := postRun(t, ts.URL, req, map[string]string{"X-Tea-Client": "alice"})
+		if resp.StatusCode != 200 {
+			t.Errorf("first request: status %d", resp.StatusCode)
+		}
+		readBody(t, resp)
+	}()
+	<-started
+
+	resp := postRun(t, ts.URL, req, map[string]string{"X-Tea-Client": "alice"})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429 (body %q)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if !strings.Contains(body, "quota") {
+		t.Errorf("429 body %q does not mention quota", body)
+	}
+	if srv.Stats().RejectedQuota != 1 {
+		t.Errorf("RejectedQuota = %d, want 1", srv.Stats().RejectedQuota)
+	}
+
+	close(gate)
+	<-done
+}
+
+func TestQueueFull429(t *testing.T) {
+	started := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	srv, ts := newTestServer(t, Config{
+		RunFunc:       blockingRun(started, gate),
+		MaxConcurrent: 1,
+		QueueDepth:    1,
+	})
+
+	req := Request{Experiment: "fig5", Workloads: []string{"bfs"}, MaxInstructions: 1000}
+	var wg sync.WaitGroup
+	for _, client := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(client string) {
+			defer wg.Done()
+			resp := postRun(t, ts.URL, req, map[string]string{"X-Tea-Client": client})
+			if resp.StatusCode != 200 {
+				t.Errorf("client %s: status %d", client, resp.StatusCode)
+			}
+			readBody(t, resp)
+		}(client)
+		if client == "a" {
+			<-started // a holds the only run slot before b queues
+		}
+	}
+	waitFor(t, "one queued request", func() bool { _, q := srv.adm.depth(); return q == 1 })
+
+	resp := postRun(t, ts.URL, req, map[string]string{"X-Tea-Client": "c"})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request: status %d, want 429 (body %q)", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "queue full") {
+		t.Errorf("429 body %q does not mention the queue", body)
+	}
+	if srv.Stats().RejectedBusy != 1 {
+		t.Errorf("RejectedBusy = %d, want 1", srv.Stats().RejectedBusy)
+	}
+
+	close(gate)
+	wg.Wait()
+}
+
+// TestSSEGolden pins the stream framing: with one worker and the
+// deterministic stub, the event sequence and its bytes are stable, and the
+// embedded report equals a direct library render of the same experiment.
+func TestSSEGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{RunFunc: stubRun, Workers: 1})
+
+	req := Request{
+		Experiment:      "fig5",
+		Workloads:       []string{"bfs"},
+		MaxInstructions: 10_000,
+		Format:          "csv",
+		Stream:          true,
+	}
+	resp := postRun(t, ts.URL, req, nil)
+	body := readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	// The same experiment through the library, rendered the same way.
+	eng := tea.NewEngine(1, tea.WithRunFunc(stubRun))
+	rep, err := tea.RunExperiment(context.Background(), "fig5", tea.ExpOptions{
+		Workloads:       []string{"bfs"},
+		MaxInstructions: 10_000,
+		Engine:          eng,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := rep.Write(&direct, tea.FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	reportJSON, err := json.Marshal(map[string]string{"format": "csv", "body": direct.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := strings.Join([]string{
+		`event: job`,
+		`data: {"index":0,"workload":"bfs","mode":"baseline","phase":"started"}`,
+		``,
+		`event: job`,
+		`data: {"index":0,"workload":"bfs","mode":"baseline","phase":"done"}`,
+		``,
+		`event: job`,
+		`data: {"index":1,"workload":"bfs","mode":"tea","phase":"started"}`,
+		``,
+		`event: job`,
+		`data: {"index":1,"workload":"bfs","mode":"tea","phase":"done"}`,
+		``,
+		`event: report`,
+		`data: ` + string(reportJSON),
+		``,
+		`event: done`,
+		`data: {"simulated":2,"store_hits":0,"coalesced":0,"memo_hits":0,"error_rows":0}`,
+		``,
+		``,
+	}, "\n")
+	if body != golden {
+		t.Errorf("SSE stream mismatch:\n--- got ---\n%q\n--- want ---\n%q", body, golden)
+	}
+}
+
+// TestRealRunByteIdentity exercises the full stack with the real simulator
+// on a tiny budget: the daemon's report must be byte-identical to the
+// direct library run, and a re-POST must simulate nothing.
+func TestRealRunByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation")
+	}
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := newTestServer(t, Config{Store: st})
+
+	const budget = 10_000
+	req := Request{
+		Experiment:      "fig5",
+		Workloads:       []string{"bfs"},
+		MaxInstructions: budget,
+		Format:          "csv",
+	}
+	resp := postRun(t, ts.URL, req, nil)
+	served := readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, served)
+	}
+
+	rep, err := tea.RunExperiment(context.Background(), "fig5", tea.ExpOptions{
+		Workloads:       []string{"bfs"},
+		MaxInstructions: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := rep.Write(&direct, tea.FormatCSV); err != nil {
+		t.Fatal(err)
+	}
+	if served != direct.String() {
+		t.Errorf("daemon report differs from direct run:\n--- daemon ---\n%s\n--- direct ---\n%s", served, direct.String())
+	}
+
+	resp = postRun(t, ts.URL, req, nil)
+	if got := readBody(t, resp); got != served {
+		t.Errorf("re-POST differs from first response")
+	}
+	if got := resp.Header.Get("X-Tea-Simulated"); got != "0" {
+		t.Errorf("re-POST X-Tea-Simulated = %s, want 0", got)
+	}
+}

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// sseWriter frames Server-Sent Events over an http.ResponseWriter, flushing
+// after every event so progress reaches the client while the simulation is
+// still running.
+type sseWriter struct {
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+// newSSE switches the response into an event stream. It fails if the
+// underlying writer cannot flush (no streaming through that stack).
+func newSSE(w http.ResponseWriter) (*sseWriter, error) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return nil, fmt.Errorf("serve: response writer does not support streaming")
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	return &sseWriter{w: w, fl: fl}, nil
+}
+
+// event emits one named event with a JSON data payload. Write errors are
+// returned but typically just mean the client went away; the request context
+// cancels the work independently.
+func (s *sseWriter) event(name string, data any) error {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, b); err != nil {
+		return err
+	}
+	s.fl.Flush()
+	return nil
+}

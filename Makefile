@@ -50,9 +50,11 @@ bench-smoke:
 	@echo "wrote $(BENCH_SMOKE_OUT)"
 
 # Regression gate: run the smoke benchmarks and fail if sim-instrs/s dropped
-# more than MAX_REGRESS percent against the committed baseline. CI runs this
-# after bench-smoke; run it locally before sending perf-sensitive changes.
-BENCH_BASELINE ?= BENCH_PR6.json
+# more than MAX_REGRESS percent against the committed baseline — the newest
+# BENCH_PR<N>.json snapshot in the repo root (version-sorted, so PR10 beats
+# PR9). CI runs this after bench-smoke; run it locally before sending
+# perf-sensitive changes.
+BENCH_BASELINE ?= $(shell ls BENCH_PR*.json | sort -V | tail -1)
 MAX_REGRESS ?= 10
 bench-compare: bench-smoke
 	$(GO) run ./internal/tools/benchjson -compare -max-regress $(MAX_REGRESS) \

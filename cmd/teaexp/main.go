@@ -108,6 +108,8 @@ func realMain() int {
 		retries  = flag.Int("retries", 0, "re-attempts for a panicking cell before it fails for good")
 		reproDir = flag.String("repro-dir", "", "write a repro bundle (spec + metadata) for every permanently failed cell")
 
+		quick = flag.Bool("quick", false, "statistical memory tier (shorthand for -set memory.model=quick; rows are fidelity-marked and must not be mixed into paper tables)")
+
 		sets stringList
 	)
 	flag.Var(&sets, "set", "spec patch section.field=value (repeatable; with -config or alone)")
@@ -223,9 +225,13 @@ func realMain() int {
 		Ctx:             ctx,
 		Partial:         *partial,
 		Paranoia:        *paranoia,
+		Quick:           *quick,
 	}
 	if *wl != "" {
 		opts.Workloads = strings.Split(*wl, ",")
+	}
+	if *quick {
+		fmt.Fprintln(os.Stderr, "[quick fidelity tier: statistical memory model — rows are not comparable to exact-tier results and must not enter paper tables]")
 	}
 
 	var traces *traceFiles

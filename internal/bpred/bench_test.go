@@ -51,6 +51,6 @@ func BenchmarkCheckpointSaveRestore(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ck := h.Save()
 		h.Push(true)
-		h.Restore(ck)
+		h.Restore(&ck)
 	}
 }

@@ -21,6 +21,12 @@ type Config struct {
 	BTBWays    int
 	// RASEntries sets the return address stack depth (default 64).
 	RASEntries int
+	// NoHistRewind disables the rewind-mode history recovery fast path,
+	// falling back to full per-branch folded-history checkpoints. Both paths
+	// restore bit-identical state (enforced by TestHistoryRewindEquivalence
+	// and the tea fast-path equivalence matrix); the reference path exists
+	// for debugging and for those tests.
+	NoHistRewind bool
 }
 
 // DefaultConfig returns the Table I predictor stack configuration.
@@ -98,7 +104,7 @@ func New() *Predictor { return NewWithConfig(Config{}) }
 // (zero fields = Table I defaults).
 func NewWithConfig(cfg Config) *Predictor {
 	cfg = cfg.normalize()
-	h := &History{}
+	h := &History{rewind: !cfg.NoHistRewind}
 	return &Predictor{
 		Hist: h,
 		tage: newTAGE(h, cfg.TageTables, cfg.TageHistLens),
@@ -186,7 +192,7 @@ func (p *Predictor) ForceConditional(pred *Pred, taken bool) {
 	}
 	// Rewind the speculative update made with the TAGE direction and
 	// re-apply with the forced one.
-	p.Hist.Restore(pred.Snap.Hist)
+	p.Hist.Restore(&pred.Snap.Hist)
 	p.RAS.Restore(pred.Snap.RAS)
 	p.loop.restore(&pred.Cond)
 	pred.Taken = taken
@@ -229,7 +235,7 @@ func (p *Predictor) specUpdate(kind BranchKind, pc uint64, taken bool, target ui
 // (the predictor may not have known its kind if the BTB missed). The BTB is
 // trained immediately so the next occurrence is identified.
 func (p *Predictor) Recover(pred *Pred, in *isa.Inst, actualTaken bool, actualTarget uint64) {
-	p.Hist.Restore(pred.Snap.Hist)
+	p.Hist.Restore(&pred.Snap.Hist)
 	p.RAS.Restore(pred.Snap.RAS)
 	if pred.BTBHit && pred.Kind == KindCond {
 		p.loop.restore(&pred.Cond)

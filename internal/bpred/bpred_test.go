@@ -248,7 +248,7 @@ func TestHistoryCheckpointEqualsReplay(t *testing.T) {
 				a.Push(bit())
 				a.PushPath(uint64(j) * 8)
 			}
-			a.Restore(ck)
+			a.Restore(&ck)
 		}
 	}
 	for i := 0; i < a.NumFolds(); i++ {
@@ -453,7 +453,7 @@ func TestHistorySaveIsolation(t *testing.T) {
 	if ck != before {
 		t.Fatal("checkpoint mutated by later pushes")
 	}
-	h.Restore(ck)
+	h.Restore(&ck)
 	if h.Fold(0) != before.comps[0] {
 		t.Fatal("restore did not apply checkpoint")
 	}

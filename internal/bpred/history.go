@@ -38,6 +38,18 @@ func (f *folded) update(newBit, oldBit uint32) {
 	f.comp &= f.mask
 }
 
+// unupdate is the exact inverse of update: given the same newBit/oldBit pair,
+// it recovers the pre-update comp. Derivation: update computes
+// u = (comp<<1)|newBit, then t = u ^ oldBit<<outPoint, then folds the
+// overflow bit (t>>compLen, which equals comp's old top bit) into bit 0 and
+// masks. All three steps are invertible because newBit and oldBit are known
+// at rewind time (they are still in the circular history buffer).
+func (f *folded) unupdate(newBit, oldBit uint32) {
+	x := f.comp ^ (oldBit << f.outPoint) // = (u & mask) ^ top
+	top := (x & 1) ^ newBit              // u's bit 0 is newBit
+	f.comp = ((x ^ top) | (top << f.compLen)) >> 1
+}
+
 // History is the speculative global branch history: a circular bit buffer
 // with registered folded views, plus a path-history register. All speculative
 // predictor state that must be rewound on a flush lives here (the RAS and
@@ -47,8 +59,53 @@ type History struct {
 	ptr  uint32 // index where the NEXT bit will be written
 	path uint32 // path history (low PC bits of taken branches)
 
+	// pushes counts every Push ever applied (monotone except during rewind).
+	// A rewind-mode checkpoint is just this counter plus the 4-byte path
+	// register: Restore unwinds pushes one by one instead of copying the 48
+	// folded comps back.
+	pushes uint64
+	// rewind selects rewind-mode checkpoints (see SaveInto). The circular
+	// bit buffer itself is the undo log: every pushed bit, and every bit
+	// that fell out of a fold's origLen window, is still in the buffer when
+	// the rewind runs (historyBits exceeds the longest fold plus the
+	// in-flight branch count), so unpush can re-derive both XOR operands.
+	rewind bool
+
+	// snaps is a ring of periodic full-fold snapshots (rewind mode only),
+	// taken every snapPeriod pushes. They bound Restore's cost: a rewind
+	// over a long in-flight distance copies the newest snapshot at or
+	// before the checkpoint and replays at most snapPeriod-1 pushes forward
+	// from the bit buffer, instead of unwinding the whole distance push by
+	// push. Snapshots younger than a restored checkpoint are dropped at
+	// Restore (the re-executed path will rewrite those push counts with
+	// different bits).
+	snaps    [snapRing]histSnap
+	snapHead int // ring index of the next snapshot write
+	snapLen  int // live snapshots (newest at snapHead-1)
+
 	folds []folded
 }
+
+// snapPeriod is the push distance between fold snapshots; snapRing sizes the
+// ring so coverage (snapPeriod*snapRing pushes) exceeds the in-flight branch
+// bound. Both must be powers of two.
+const (
+	snapPeriod = 32
+	snapRing   = 64
+)
+
+// histSnap is one periodic snapshot: the full fold state just after the
+// push numbered pushes.
+type histSnap struct {
+	pushes uint64
+	ptr    uint32
+	comps  [maxFolds]uint32
+}
+
+// SetRewind selects rewind-mode (true) or copy-mode (false) checkpoints.
+// Both produce bit-identical restored state; rewind mode makes Save O(1)
+// instead of O(maxFolds) per branch.
+func (h *History) SetRewind(on bool) { h.rewind = on }
 
 // RegisterFold adds a folded view of the most recent origLen history bits
 // compressed to compLen bits and returns its handle.
@@ -85,6 +142,7 @@ func (h *History) Push(bit bool) {
 	}
 	h.setBit(h.ptr&(historyBits-1), nb)
 	h.ptr = (h.ptr + 1) & (historyBits - 1)
+	h.pushes++
 	// Folds registered back to back share origLen (TAGE makes three views of
 	// each table's history, ITTAGE two); fetch the outgoing bit once per run.
 	lastLen, ob := ^uint32(0), uint32(0)
@@ -96,6 +154,76 @@ func (h *History) Push(bit bool) {
 		}
 		f.update(nb, ob)
 	}
+	if h.rewind && h.pushes&(snapPeriod-1) == 0 {
+		h.snapshot()
+	}
+}
+
+// snapshot records the current fold state into the ring.
+func (h *History) snapshot() {
+	s := &h.snaps[h.snapHead]
+	h.snapHead = (h.snapHead + 1) & (snapRing - 1)
+	if h.snapLen < snapRing {
+		h.snapLen++
+	}
+	s.pushes, s.ptr = h.pushes, h.ptr
+	for i := range h.folds {
+		s.comps[i] = h.folds[i].comp
+	}
+}
+
+// dropSnapsAfter discards snapshots taken after push count p. A restore to p
+// invalidates them: the path re-executed from there will reuse the same push
+// counts with different history bits.
+func (h *History) dropSnapsAfter(p uint64) {
+	for h.snapLen > 0 {
+		newest := (h.snapHead - 1 + snapRing) & (snapRing - 1)
+		if h.snaps[newest].pushes <= p {
+			return
+		}
+		h.snapHead = newest
+		h.snapLen--
+	}
+}
+
+// replayPush re-applies one already-recorded push: the bit is read back from
+// the circular buffer (Push wrote it there and nothing has overwritten it
+// within the buffer's margin) instead of being provided by the caller.
+func (h *History) replayPush() {
+	nb := uint32(h.bits[h.ptr/64]>>(h.ptr%64)) & 1
+	h.ptr = (h.ptr + 1) & (historyBits - 1)
+	h.pushes++
+	lastLen, ob := ^uint32(0), uint32(0)
+	for i := range h.folds {
+		f := &h.folds[i]
+		if f.origLen != lastLen {
+			lastLen = f.origLen
+			ob = h.bitAt(lastLen)
+		}
+		f.update(nb, ob)
+	}
+}
+
+// unpush exactly inverts the most recent Push. Both XOR operands of each
+// fold's update are re-read from the circular buffer at the same distances
+// the push used (ptr has not moved since, and at most historyBits-1 newer
+// bits could have overwritten old positions — far beyond any fold's window),
+// so unupdate recovers the pre-push comps bit for bit. The pushed bit itself
+// is left in the buffer; it is unreachable until overwritten by a new Push
+// at the same position.
+func (h *History) unpush() {
+	nb := h.bitAt(0)
+	lastLen, ob := ^uint32(0), uint32(0)
+	for i := range h.folds {
+		f := &h.folds[i]
+		if f.origLen != lastLen {
+			lastLen = f.origLen
+			ob = h.bitAt(lastLen)
+		}
+		f.unupdate(nb, ob)
+	}
+	h.ptr = (h.ptr - 1) & (historyBits - 1)
+	h.pushes--
 }
 
 // PushPath mixes low bits of a taken-branch PC into the path history.
@@ -111,12 +239,23 @@ const maxFolds = 48
 // before a branch's own update. It is small enough to store per in-flight
 // branch (the paper's in-flight branch queue plays the same role) and is a
 // plain value: no heap allocation per branch.
+//
+// Two flavors share the struct, tagged by n: a copy-mode checkpoint
+// (n >= 0) carries all folded comps and restores by copying them back; a
+// rewind-mode checkpoint (n == rewindTag) carries only the push counter and
+// path register, and restores by unwinding pushes through the invertible
+// fold update. Restore dispatches on the checkpoint's own tag, so mixed use
+// is safe.
 type Checkpoint struct {
-	ptr   uint32
-	path  uint32
-	n     int32
-	comps [maxFolds]uint32
+	ptr    uint32
+	path   uint32
+	n      int32
+	pushes uint64
+	comps  [maxFolds]uint32
 }
+
+// rewindTag marks a rewind-mode Checkpoint (see SaveInto).
+const rewindTag int32 = -1
 
 // Save captures the current history state. The checkpoint stays valid until
 // more than historyBits bits have been pushed past it.
@@ -127,18 +266,50 @@ func (h *History) Save() Checkpoint {
 }
 
 // SaveInto is Save writing into caller-owned (zeroed) storage, avoiding a
-// Checkpoint-sized temporary copy on the per-branch hot path.
+// Checkpoint-sized temporary copy on the per-branch hot path. In rewind
+// mode only the counters are recorded — the per-branch cost drops from
+// maxFolds+3 words to 4 — and the comps array is left untouched (Restore
+// never reads it for a rewind-tagged checkpoint).
 func (h *History) SaveInto(c *Checkpoint) {
+	if h.rewind {
+		c.ptr, c.path, c.n, c.pushes = h.ptr, h.path, rewindTag, h.pushes
+		return
+	}
 	c.ptr, c.path, c.n = h.ptr, h.path, int32(len(h.folds))
 	for i := range h.folds {
 		c.comps[i] = h.folds[i].comp
 	}
 }
 
-// Restore rewinds the history to a previously saved checkpoint.
-func (h *History) Restore(c Checkpoint) {
+// Restore rewinds the history to a previously saved checkpoint. A
+// rewind-tagged checkpoint restores from the nearest periodic snapshot at or
+// before it (copy + at most snapPeriod-1 forward replays from the bit
+// buffer) when the distance is long, and by unwinding push by push when it
+// is short or no snapshot covers it; cost is bounded either way.
+func (h *History) Restore(c *Checkpoint) {
+	if c.n == rewindTag {
+		h.dropSnapsAfter(c.pushes)
+		if h.pushes-c.pushes > snapPeriod && h.snapLen > 0 {
+			s := &h.snaps[(h.snapHead-1+snapRing)&(snapRing-1)]
+			h.ptr = s.ptr
+			h.pushes = s.pushes
+			for i := range h.folds {
+				h.folds[i].comp = s.comps[i]
+			}
+			for h.pushes < c.pushes {
+				h.replayPush()
+			}
+		}
+		for h.pushes > c.pushes {
+			h.unpush()
+		}
+		h.ptr = c.ptr // always equal after the unwind; cheap belt-and-braces
+		h.path = c.path
+		return
+	}
 	h.ptr = c.ptr
 	h.path = c.path
+	h.snapLen, h.snapHead = 0, 0 // a copy restore invalidates every snapshot
 	for i := 0; i < int(c.n); i++ {
 		h.folds[i].comp = c.comps[i]
 	}

@@ -1,0 +1,119 @@
+package bpred
+
+import "testing"
+
+// TestHistoryRewindEquivalence drives a rewind-mode history and a copy-mode
+// twin through identical random push / checkpoint / mispredict-restore
+// sequences — including restores that unwind past several younger
+// checkpoints, as nested flushes do — and asserts every piece of observable
+// state (ptr, path register, every folded comp) is bit-identical after each
+// restore. This is the contract that lets the pipeline enable rewind
+// recovery by default: a rewind-tagged Restore must be indistinguishable
+// from copying the 48 folded comps back.
+func TestHistoryRewindEquivalence(t *testing.T) {
+	mk := func(rewind bool) *History {
+		h := &History{rewind: rewind}
+		// Mix of short/long origLens with shared-length runs, mirroring how
+		// TAGE registers three views per table and ITTAGE two.
+		for _, l := range []uint32{4, 4, 9, 9, 26, 26, 75, 212, 212, 600, 1270, 1270} {
+			h.RegisterFold(l, 11)
+			h.RegisterFold(l, 8)
+		}
+		return h
+	}
+	a, b := mk(true), mk(false)
+
+	rng := uint32(0x8124)
+	rnd := func(n uint32) uint32 {
+		rng ^= rng << 13
+		rng ^= rng >> 17
+		rng ^= rng << 5
+		return rng % n
+	}
+	check := func(step int) {
+		t.Helper()
+		if a.ptr != b.ptr || a.path != b.path {
+			t.Fatalf("step %d: ptr/path diverged: %d/%#x vs %d/%#x",
+				step, a.ptr, a.path, b.ptr, b.path)
+		}
+		for i := range a.folds {
+			if a.folds[i].comp != b.folds[i].comp {
+				t.Fatalf("step %d: fold %d diverged: %#x vs %#x",
+					step, i, a.folds[i].comp, b.folds[i].comp)
+			}
+		}
+	}
+
+	// Checkpoints live on a stack with flush semantics: a mispredict at
+	// entry k squashes every younger checkpoint. Entries older than the
+	// validity window (historyBits minus the longest fold) are retired off
+	// the bottom, exactly as the pipeline retires branches.
+	type saved struct {
+		a, b Checkpoint
+		at   uint64 // a.pushes when taken
+	}
+	var stack []saved
+	for step := 0; step < 30000; step++ {
+		switch rnd(12) {
+		case 0, 1: // a branch is predicted: checkpoint both
+			var s saved
+			a.SaveInto(&s.a)
+			b.SaveInto(&s.b)
+			s.at = a.pushes
+			stack = append(stack, s)
+		case 2: // mispredict: flush to a random in-flight branch
+			if len(stack) == 0 {
+				continue
+			}
+			k := int(rnd(uint32(len(stack))))
+			s := stack[k]
+			stack = stack[:k]
+			a.Restore(&s.a)
+			b.Restore(&s.b)
+			check(step)
+		case 3: // taken branch mixes path history
+			pc := uint64(rnd(1<<20)) * 4
+			a.PushPath(pc)
+			b.PushPath(pc)
+		default: // speculative history bit
+			bit := rnd(2) == 1
+			a.Push(bit)
+			b.Push(bit)
+		}
+		for len(stack) > 0 && a.pushes-stack[0].at > historyBits-1271 {
+			stack = stack[1:] // oldest branch retires; checkpoint expires
+		}
+	}
+	check(-1)
+	// Final unwind all the way down the stack, oldest last.
+	for k := len(stack) - 1; k >= 0; k-- {
+		a.Restore(&stack[k].a)
+		b.Restore(&stack[k].b)
+		check(100000 + k)
+	}
+}
+
+// TestFoldedUnupdateInverts exercises the algebraic inverse directly over
+// all (newBit, oldBit) pairs and many comp values for awkward geometries
+// (outPoint 0, compLen > origLen, single-bit comps).
+func TestFoldedUnupdateInverts(t *testing.T) {
+	geoms := [][2]uint32{{8, 8}, {8, 3}, {3, 8}, {1270, 12}, {5, 1}, {7, 7}, {16, 11}}
+	for _, g := range geoms {
+		f := newFolded(g[0], g[1])
+		rng := uint32(7)
+		for i := 0; i < 2000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 17
+			rng ^= rng << 5
+			f.comp = rng & f.mask
+			nb, ob := rng>>8&1, rng>>9&1
+			before := f.comp
+			f.update(nb, ob)
+			f.unupdate(nb, ob)
+			if f.comp != before {
+				t.Fatalf("fold(%d,%d): comp %#x -> update(%d,%d) -> unupdate = %#x",
+					g[0], g[1], before, nb, ob, f.comp)
+			}
+		}
+	}
+}

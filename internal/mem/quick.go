@@ -1,0 +1,68 @@
+package mem
+
+// Quick fidelity tier: a statistical memory model that replaces the full
+// cache-hierarchy walk (lookup, LRU, MSHR tracking, DRAM channel timing)
+// with a deterministic hit/miss draw and fixed latencies. It exists for
+// interactive sweeps where wall-clock matters more than memory-system
+// fidelity, and it is explicitly OUTSIDE the simulator's bit-identity
+// contract: quick results are self-consistent and reproducible (the draw is
+// a pure hash of the access stream), but they are not comparable to
+// exact-tier runs and must never be mixed into paper-figure tables (see
+// EXPERIMENTS.md). The tea fast-path equivalence harness rejects quick
+// specs outright rather than letting them diverge silently.
+//
+// Model: every access is accepted (no MSHR rejections, so the core's
+// load-parking and store-commit-retry paths never engage) and completes at
+// a fixed depth-dependent latency — L1 hit, LLC hit, or memory — chosen by
+// hashing the line address with a monotone access counter against the
+// configured hit percentages. Per-level hit/miss counters are maintained so
+// diagnostics (teadbg, telemetry gauges) keep working.
+
+// quickModel holds the statistical tier's parameters and draw state.
+type quickModel struct {
+	l1HitPct  uint64 // percent of accesses served at L1 latency
+	llcHitPct uint64 // percent of L1 misses served at LLC latency
+	memLat    uint64 // flat latency of everything else
+	n         uint64 // access counter feeding the deterministic draw
+}
+
+// Default quick-tier parameters (used for zero config fields): hit rates in
+// the neighborhood of the suite's exact-tier averages and a flat DRAM
+// latency close to the DDR4 model's typical loaded read.
+const (
+	quickDefaultL1HitPct  = 90
+	quickDefaultLLCHitPct = 60
+	quickDefaultMemLat    = 180
+)
+
+// draw returns a deterministic pseudo-random value in [0,100) for one
+// access. SplitMix64-style finalizer over (line, access index): fully
+// determined by the access stream, so quick runs are reproducible and
+// memoizable; no global RNG, no wall clock.
+func (q *quickModel) draw(line uint64) uint64 {
+	q.n++
+	x := line*0x9E3779B97F4A7C15 + q.n*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	x *= 0x94D049BB133111EB
+	x ^= x >> 29
+	return x % 100
+}
+
+// quickAccess is the statistical tier's replacement for access(): always
+// accepted, latency by drawn level, counters bumped for diagnostics.
+func (h *Hierarchy) quickAccess(l1 *Cache, addr uint64, now uint64) (AccessResult, bool) {
+	q := h.quick
+	line := LineOf(addr)
+	l1.Accesses++
+	if q.draw(line) < q.l1HitPct {
+		return AccessResult{ReadyAt: now + l1.hitLat, HitL1: true}, true
+	}
+	l1.Misses++
+	h.LLC.Accesses++
+	if q.draw(line) < q.llcHitPct {
+		return AccessResult{ReadyAt: now + l1.hitLat + h.LLC.hitLat, HitLLC: true}, true
+	}
+	h.LLC.Misses++
+	h.DRAM.Reads++
+	return AccessResult{ReadyAt: now + q.memLat, DRAM: true}, true
+}

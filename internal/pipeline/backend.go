@@ -36,10 +36,20 @@ func (c *Core) execute() {
 	// Companion uops can wait on a register whose producer vanished in a
 	// flush (the shadow RAT is only a snapshot); sweep them out instead of
 	// letting them pin RS entries forever.
-	var cands []*Uop
+	var cands, teaCands []*Uop
 	if c.bitset {
 		c.sweepCompanionTimeoutsBitset()
 		cands = c.selectCandsBitset()
+		if c.split {
+			if c.rsTEACount > 0 {
+				teaCands = c.selectTEACandsBitset()
+			} else if len(c.teaReadyList) > 0 {
+				// No live companion residencies ⇒ every queued ref is stale;
+				// drop them wholesale instead of compacting one by one.
+				c.teaReadyList = c.teaReadyList[:0]
+				c.teaReadySorted = 0
+			}
+		}
 	} else {
 		c.sweepCompanionTimeouts()
 		cands = c.selectCands()
@@ -53,6 +63,53 @@ func (c *Core) execute() {
 		for _, u := range cands {
 			if aluFree == 0 && fpFree == 0 && memFree == 0 {
 				break // every class is port-blocked; the rest are no-ops
+			}
+			c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
+		}
+		return
+	}
+	if c.split {
+		// Split-ready fast path: the candidate groups arrive pre-separated
+		// and stamp-sorted, so each pass is a straight batch drain — no
+		// per-uop TEA filtering. Pass order matches the shared-list passes
+		// below (companion first unless demoted); port budgets thread
+		// through identically, so binding is bit-identical.
+		if c.Cfg.CompanionDedicated {
+			teaFree := c.Cfg.CompanionPorts
+			for _, u := range teaCands {
+				if teaFree == 0 {
+					break
+				}
+				before := teaFree
+				teaFree--
+				// Reuse the class-checked path with generous per-class budgets.
+				a, f, m, st := 1, 1, 1, 1
+				c.tryIssue(u, &a, &f, &m, &st)
+				if a == 1 && f == 1 && m == 1 && st == 1 {
+					teaFree = before // did not issue (e.g. load retry)
+				}
+			}
+			for _, u := range cands {
+				if aluFree == 0 && fpFree == 0 && memFree == 0 {
+					break // every class is port-blocked; the rest are no-ops
+				}
+				c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
+			}
+			return
+		}
+		first, second := teaCands, cands
+		if c.Cfg.CompanionNoPriority {
+			first, second = cands, teaCands
+		}
+		for _, u := range first {
+			if aluFree == 0 && fpFree == 0 && memFree == 0 {
+				return // every class is port-blocked; the rest are no-ops
+			}
+			c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
+		}
+		for _, u := range second {
+			if aluFree == 0 && fpFree == 0 && memFree == 0 {
+				return
 			}
 			c.tryIssue(u, &aluFree, &fpFree, &memFree, &stFree)
 		}
@@ -365,13 +422,27 @@ func (c *Core) complete() {
 		}
 	}
 	// Seqs are unique, so this unstable sort is deterministic; unlike
-	// sort.Slice it does not allocate a closure + swapper per call.
-	slices.SortFunc(list, func(a, b *Uop) int {
-		if a.Seq < b.Seq {
-			return -1
+	// sort.Slice it does not allocate a closure + swapper per call. Most
+	// cycles drain one or two uops: those sizes skip the sort machinery.
+	// The len==2 compare-swap leaves ties (a TEA uop and its main twin
+	// share a Seq) in input order, exactly what the comparator's
+	// tie-returns-+1 convention makes the library's small-n insertion sort
+	// do — do not "simplify" the big-n case to a stable sort, or tie order
+	// (and bit-identity) changes for lists the library partitions.
+	switch {
+	case len(list) <= 1:
+	case len(list) == 2:
+		if list[0].Seq > list[1].Seq {
+			list[0], list[1] = list[1], list[0]
 		}
-		return 1
-	})
+	default:
+		slices.SortFunc(list, func(a, b *Uop) int {
+			if a.Seq < b.Seq {
+				return -1
+			}
+			return 1
+		})
+	}
 	for _, u := range list {
 		if u.Squashed {
 			if u.TEA {

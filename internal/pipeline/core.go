@@ -78,6 +78,15 @@ type Core struct {
 	teaAgeP     []uint64
 	teaAgePHead int
 	candScratch []*Uop // per-cycle select candidates, reused
+	// Split-ready fast path (bitset only; active unless Cfg.NoSplitReady):
+	// companion residencies keep their own ready list, so main select never
+	// filters TEA refs (or revalidates anything — main readiness is
+	// monotonic) and TEA select never walks main refs. execute() consumes
+	// the two pre-separated stamp-sorted groups in one pass each.
+	split          bool
+	teaReadyList   []uint64
+	teaReadySorted int // prefix of teaReadyList already in stamp order
+	teaCandScratch []*Uop
 	// sqParked holds refs of ready main loads whose SQ-disambiguation scan
 	// verdict is memoized as "blocked" (see storeEpoch): select skips them
 	// entirely and re-admits the whole list when the epoch moves.
@@ -176,12 +185,14 @@ func New(cfg Config, prog *isa.Program) *Core {
 	if teaRegs == 0 {
 		teaRegs = 192
 	}
+	bpCfg := cfg.BP
+	bpCfg.NoHistRewind = bpCfg.NoHistRewind || cfg.NoHistRewind
 	c := &Core{
 		Cfg:        cfg,
 		Prog:       prog,
 		Mem:        mem.NewImage(),
 		Hier:       mem.NewHierarchy(cfg.Mem),
-		BP:         bpred.NewWithConfig(cfg.BP),
+		BP:         bpred.NewWithConfig(bpCfg),
 		streamPC:   prog.Entry,
 		PRF:        NewPRF(cfg.NumPRegs, teaRegs),
 		mainRSCap:  cfg.RSSize,
@@ -189,6 +200,7 @@ func New(cfg Config, prog *isa.Program) *Core {
 		teaPRCount: teaRegs,
 		comp:       nopCompanion{},
 		bitset:     !cfg.NoBitsetSched,
+		split:      !cfg.NoBitsetSched && !cfg.NoSplitReady,
 		storeEpoch: 1,
 		codeBase:   prog.CodeBase,
 		codeEnd:    prog.CodeEnd(),

@@ -323,10 +323,32 @@ func (c *Core) checkSchedulerBitset(cnt map[*Uop]int, live int) {
 		}
 		refs++
 		cnt[s.u]++
+		if c.split && s.tea {
+			c.paranoiac("companion seq %d in the main readyList with split-ready active", s.u.Seq)
+		}
 		if !s.tea && (!c.PRF.Ready[s.prs1] || !c.PRF.Ready[s.prs2]) {
 			c.paranoiac("main seq %d in readyList with unready source (monotonicity violated)",
 				s.u.Seq)
 		}
+	}
+	if c.teaReadySorted > len(c.teaReadyList) {
+		c.paranoiac("teaReadySorted=%d exceeds teaReadyList length %d",
+			c.teaReadySorted, len(c.teaReadyList))
+	}
+	for i, ref := range c.teaReadyList {
+		if i > 0 && i < c.teaReadySorted && ref < c.teaReadyList[i-1] {
+			c.paranoiac("teaReadyList sorted prefix broken at %d (%d after %d)",
+				i, ref, c.teaReadyList[i-1])
+		}
+		s := refLive(ref)
+		if s == nil {
+			continue
+		}
+		if !s.tea {
+			c.paranoiac("main seq %d in the companion ready list", s.u.Seq)
+		}
+		refs++
+		cnt[s.u]++
 	}
 	for _, ref := range c.sqParked {
 		s := refLive(ref)
@@ -379,7 +401,7 @@ func (c *Core) checkSchedulerBitset(cnt map[*Uop]int, live int) {
 	}
 	for u, n := range cnt {
 		if n != 1 {
-			c.paranoiac("seq %d registered %d times across readyList+parked+pwaiters, want exactly 1",
+			c.paranoiac("seq %d registered %d times across ready lists+parked+pwaiters, want exactly 1",
 				u.Seq, n)
 		}
 	}

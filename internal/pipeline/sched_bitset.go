@@ -75,6 +75,10 @@ func (c *Core) initSched(nPR int) {
 	c.teaAgeP = make([]uint64, 0, 256)
 	c.candScratch = make([]*Uop, 0, 64)
 	c.complScratch = make([]*Uop, 0, 64)
+	if c.split {
+		c.teaReadyList = make([]uint64, 0, 64)
+		c.teaCandScratch = make([]*Uop, 0, 32)
+	}
 }
 
 // allocSlot takes the lowest free slot (pure simulator bookkeeping: slot
@@ -121,12 +125,18 @@ func (c *Core) insertRSBitset(u *Uop) {
 		c.pwaiters[u.Prs1] = append(c.pwaiters[u.Prs1], ref)
 	} else if !c.PRF.Ready[u.Prs2] {
 		c.pwaiters[u.Prs2] = append(c.pwaiters[u.Prs2], ref)
+	} else if u.TEA && c.split {
+		c.teaReadyList = append(c.teaReadyList, ref)
 	} else {
 		c.readyList = append(c.readyList, ref)
 	}
 }
 
-// wakeWaitersBitset re-homes or readies every entry waiting on p.
+// wakeWaitersBitset re-homes or readies every entry waiting on p. With the
+// split-ready fast path, companion entries ready up onto their own list;
+// which list a ref lands on never affects results because each list is
+// stamp-sorted before use and execute issues the two groups in the same
+// relative order the filtered shared-list passes did.
 func (c *Core) wakeWaitersBitset(p uint16) {
 	ws := c.pwaiters[p]
 	if len(ws) == 0 {
@@ -142,6 +152,8 @@ func (c *Core) wakeWaitersBitset(p uint16) {
 			c.pwaiters[s.prs1] = append(c.pwaiters[s.prs1], ref)
 		} else if !c.PRF.Ready[s.prs2] {
 			c.pwaiters[s.prs2] = append(c.pwaiters[s.prs2], ref)
+		} else if s.tea && c.split {
+			c.teaReadyList = append(c.teaReadyList, ref)
 		} else {
 			c.readyList = append(c.readyList, ref)
 		}
@@ -233,6 +245,50 @@ func (c *Core) selectCandsBitset() []*Uop {
 	c.readyList = q
 	c.readySorted = len(q)
 	c.candScratch = cands
+	return cands
+}
+
+// selectTEACandsBitset is selectCandsBitset for the companion's own ready
+// list (split-ready fast path): the same compact + tandem-stamp-sort
+// contract, minus the load parking (s.load is main-only) and with every
+// entry revalidating readiness — a companion source register can be
+// recycled under it (see the monotonicity argument atop this file).
+func (c *Core) selectTEACandsBitset() []*Uop {
+	q := c.teaReadyList[:0]
+	cands := c.teaCandScratch[:0]
+	sorted := 0
+	for i, ref := range c.teaReadyList {
+		s := &c.slots[ref&slotMask]
+		if s.stamp != ref>>slotBits {
+			continue
+		}
+		if !c.PRF.Ready[s.prs1] {
+			c.pwaiters[s.prs1] = append(c.pwaiters[s.prs1], ref)
+			continue
+		}
+		if !c.PRF.Ready[s.prs2] {
+			c.pwaiters[s.prs2] = append(c.pwaiters[s.prs2], ref)
+			continue
+		}
+		q = append(q, ref)
+		cands = append(cands, s.u)
+		if i < c.teaReadySorted {
+			sorted = len(q)
+		}
+	}
+	start := sorted
+	if start == 0 {
+		start = 1
+	}
+	for i := start; i < len(q); i++ {
+		for j := i; j > 0 && q[j] < q[j-1]; j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	c.teaReadyList = q
+	c.teaReadySorted = len(q)
+	c.teaCandScratch = cands
 	return cands
 }
 

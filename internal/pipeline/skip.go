@@ -102,6 +102,20 @@ func (c *Core) idleWake() (wake uint64, idle bool) {
 				return 0, false
 			}
 		}
+		// Split-ready fast path: companion refs live on their own list.
+		// A live companion entry with both sources ready would issue (or
+		// probe the cache) next tick — loadBlocked never blocks companion
+		// uops — so it vetoes idleness outright; unready ones wake via a
+		// writeback, covered by the completion bitmap below.
+		for _, ref := range c.teaReadyList {
+			s := &c.slots[ref&slotMask]
+			if s.stamp != ref>>slotBits {
+				continue
+			}
+			if c.PRF.Ready[s.prs1] && c.PRF.Ready[s.prs2] {
+				return 0, false
+			}
+		}
 		// MSHR-parked loads are invisible to the walk above; their retry is
 		// due exactly when the earliest parked memo expires. A due (or past)
 		// pool wake vetoes idleness — select re-admits the pool on the next

@@ -147,16 +147,6 @@ type JobEvent struct {
 	Wall  time.Duration // wall time, JobDone only (near-zero for memo hits)
 }
 
-// SetProgress installs a progress callback after construction. Pass nil to
-// remove.
-//
-// Deprecated: pass WithProgress to NewEngine instead.
-func (e *Engine) SetProgress(fn func(JobEvent)) {
-	e.pmu.Lock()
-	e.progress = fn
-	e.pmu.Unlock()
-}
-
 // notify delivers a progress event, serialized under pmu.
 func (e *Engine) notify(ev JobEvent) {
 	e.pmu.Lock()
@@ -191,25 +181,6 @@ type JobPolicy struct {
 	// (loadable with -config) plus a .meta.json with the workload, budget,
 	// and failure.
 	ReproDir string
-}
-
-// SetPolicy installs the failure-handling policy for subsequent jobs.
-//
-// Deprecated: pass WithPolicy to NewEngine instead.
-func (e *Engine) SetPolicy(p JobPolicy) {
-	e.mu.Lock()
-	e.policy = p
-	e.mu.Unlock()
-}
-
-// SetTelemetry attaches a failure-event sink after construction. Pass nil to
-// detach.
-//
-// Deprecated: pass WithTelemetry to NewEngine instead.
-func (e *Engine) SetTelemetry(s telemetry.Sink) {
-	e.mu.Lock()
-	e.sink = s
-	e.mu.Unlock()
 }
 
 // memoKey identifies one memoizable simulation: the workload, the machine
@@ -284,20 +255,6 @@ func (e *Engine) MemoStats() MemoStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return MemoStats{Entries: len(e.memo), Hits: e.hits, Seeded: e.seeded}
-}
-
-// SetJournal attaches a journal after construction. Pass nil to detach.
-//
-// Deprecated: pass WithJournal to NewEngine instead (it also accepts any
-// JournalWriter, not just *Journal).
-func (e *Engine) SetJournal(j *Journal) {
-	e.mu.Lock()
-	if j == nil {
-		e.journal = nil
-	} else {
-		e.journal = j
-	}
-	e.mu.Unlock()
 }
 
 // SeedJournal pre-loads the memo cache from journal records (ReadJournal),

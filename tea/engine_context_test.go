@@ -14,8 +14,8 @@ import (
 
 // stubEngine returns an engine whose runFn counts invocations and calls
 // hook (if non-nil) on each.
-func stubEngine(workers int, calls *atomic.Int64, hook func(int64)) *Engine {
-	e := NewEngine(workers)
+func stubEngine(workers int, calls *atomic.Int64, hook func(int64), opts ...EngineOption) *Engine {
+	e := NewEngine(workers, opts...)
 	e.runFn = func(_ context.Context, w string, c Config) (Result, error) {
 		n := calls.Add(1)
 		if hook != nil {
@@ -92,9 +92,9 @@ func TestMapContextErrorStillDeterministic(t *testing.T) {
 
 func TestEngineProgressEvents(t *testing.T) {
 	var calls atomic.Int64
-	e := stubEngine(1, &calls, nil)
 	var events []JobEvent
-	e.SetProgress(func(ev JobEvent) { events = append(events, ev) })
+	e := stubEngine(1, &calls, nil,
+		WithProgress(func(ev JobEvent) { events = append(events, ev) }))
 	jobs := teaJobs(3)
 	if _, err := e.Map(jobs); err != nil {
 		t.Fatal(err)
@@ -130,22 +130,18 @@ func TestEngineProgressEvents(t *testing.T) {
 	if len(started) != len(jobs) {
 		t.Fatalf("only %d of %d jobs reported", len(started), len(jobs))
 	}
-	// Removing the callback stops notifications.
-	e.SetProgress(nil)
-	before := len(events)
-	if _, err := e.Map(teaJobs(1)); err != nil {
+	// A callback-less engine runs jobs without notifications (and without
+	// panicking on the nil callback).
+	quiet := stubEngine(1, &calls, nil, WithProgress(nil))
+	if _, err := quiet.Map(teaJobs(1)); err != nil {
 		t.Fatal(err)
-	}
-	if len(events) != before {
-		t.Fatal("events delivered after SetProgress(nil)")
 	}
 }
 
 func TestProgressSerializedUnderParallelMap(t *testing.T) {
 	var calls atomic.Int64
-	e := stubEngine(4, &calls, nil)
 	var count int // intentionally unsynchronized: callbacks promise serialization
-	e.SetProgress(func(JobEvent) { count++ })
+	e := stubEngine(4, &calls, nil, WithProgress(func(JobEvent) { count++ }))
 	if _, err := e.Map(teaJobs(32)); err != nil {
 		t.Fatal(err)
 	}

@@ -8,13 +8,27 @@ import (
 	"teasim/tea"
 )
 
-// TestFastPathEquivalence is the decoded-block-cache + bitset-scheduler
-// contract (DESIGN.md §12): both fast paths are pure simulator-speed
-// optimizations, so every mode must produce bit-identical results — every
-// counter, rate, and the final cycle count — with the fast paths enabled
-// (the default) and disabled (the reference predict/fetch walk and the
-// pointer/heap scheduler). All six modes run on a representative workload
-// pair, and the full workload suite runs in the two headline modes.
+// fastPathToggles enumerates the simulator-speed fast paths covered by the
+// bit-identity contract, as functions that disable one path on a config.
+// Every new bit-identical optimization lever must be added here.
+var fastPathToggles = []struct {
+	name    string
+	disable func(*tea.Config)
+}{
+	{"block_cache", func(c *tea.Config) { c.DisableBlockCache = true }},
+	{"bitset_sched", func(c *tea.Config) { c.DisableBitsetSched = true }},
+	{"split_ready", func(c *tea.Config) { c.DisableSplitReady = true }},
+	{"hist_rewind", func(c *tea.Config) { c.DisableHistRewind = true }},
+}
+
+// TestFastPathEquivalence is the fast-path bit-identity contract (DESIGN.md
+// §12, §14): the decoded-block cache, the bitset scheduler, the split
+// main/companion ready lists, and invertible folded-history recovery are all
+// pure simulator-speed optimizations, so every mode must produce
+// bit-identical results — every counter, rate, and the final cycle count —
+// with the fast paths enabled (the default) and disabled (the reference
+// paths). All six modes run on a representative workload pair, and the full
+// workload suite runs in the two headline modes.
 func TestFastPathEquivalence(t *testing.T) {
 	budget := uint64(20_000)
 	for _, mode := range tea.Modes() {
@@ -41,38 +55,69 @@ func TestFastPathEquivalence(t *testing.T) {
 	}
 }
 
+// exactTierViolation reports why cfg is outside the bit-identity contract
+// (empty when it is inside). The equivalence harness refuses such configs
+// outright: a quick-tier run is self-consistent but not comparable to the
+// exact tier, and silently asserting equivalence on one would prove nothing.
+func exactTierViolation(cfg tea.Config) string {
+	machine, err := cfg.ResolvedSpec()
+	if err != nil {
+		return fmt.Sprintf("spec does not resolve: %v", err)
+	}
+	if machine.Memory.Quick() {
+		return `memory.model "quick" is outside the bit-identity contract (see DESIGN.md §14)`
+	}
+	return ""
+}
+
 func checkFastPathEquivalence(t *testing.T, name string, cfg tea.Config) {
 	t.Helper()
-	cfg.DisableBlockCache, cfg.DisableBitsetSched = false, false
+	if v := exactTierViolation(cfg); v != "" {
+		t.Fatalf("config not eligible for the equivalence harness: %s", v)
+	}
 	on, err := tea.Run(name, cfg)
 	if err != nil {
 		t.Fatalf("fast paths on: %v", err)
 	}
-	cfg.DisableBlockCache, cfg.DisableBitsetSched = true, true
-	off, err := tea.Run(name, cfg)
-	if err != nil {
-		t.Fatalf("fast paths off: %v", err)
+	check := func(label string, c tea.Config) {
+		got, err := tea.Run(name, c)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		// DeepEqual, not field picking: any future Result field must hold
+		// the invariant too.
+		if !reflect.DeepEqual(on, got) {
+			t.Errorf("results diverge (%s):\n on: %+v\ngot: %+v", label, on, got)
+		}
 	}
-	// DeepEqual, not field picking: any future Result field must hold the
-	// invariant too.
-	if !reflect.DeepEqual(on, off) {
-		t.Errorf("results diverge with the fast paths:\n on: %+v\noff: %+v", on, off)
+	// All reference paths at once.
+	all := cfg
+	for _, tog := range fastPathToggles {
+		tog.disable(&all)
 	}
-	// The paths are also independent: each fast path alone must match.
-	cfg.DisableBlockCache, cfg.DisableBitsetSched = true, false
-	schedOnly, err := tea.Run(name, cfg)
-	if err != nil {
-		t.Fatalf("bitset only: %v", err)
+	check("all fast paths off", all)
+	// The paths are also independent: each fast path disabled alone must
+	// match too.
+	for _, tog := range fastPathToggles {
+		one := cfg
+		tog.disable(&one)
+		check(fmt.Sprintf("only %s disabled", tog.name), one)
 	}
-	if !reflect.DeepEqual(on, schedOnly) {
-		t.Errorf("results diverge with only the bitset scheduler:\n on: %+v\noff: %+v", on, schedOnly)
+}
+
+// TestQuickTierRejected pins the quick fidelity tier's exclusion from the
+// bit-identity contract: the equivalence harness must refuse a quick-model
+// spec rather than run it and silently compare incomparable tiers.
+func TestQuickTierRejected(t *testing.T) {
+	cfg := tea.Config{
+		Mode:            tea.ModeBaseline,
+		MaxInstructions: 1000,
+		Set:             []string{"memory.model=quick"},
 	}
-	cfg.DisableBlockCache, cfg.DisableBitsetSched = false, true
-	cacheOnly, err := tea.Run(name, cfg)
-	if err != nil {
-		t.Fatalf("block cache only: %v", err)
+	if v := exactTierViolation(cfg); v == "" {
+		t.Fatal("quick-tier config was not rejected by the equivalence harness guard")
 	}
-	if !reflect.DeepEqual(on, cacheOnly) {
-		t.Errorf("results diverge with only the block cache:\n on: %+v\noff: %+v", on, cacheOnly)
+	if v := exactTierViolation(tea.Config{Mode: tea.ModeBaseline}); v != "" {
+		t.Fatalf("exact-tier config wrongly rejected: %s", v)
 	}
 }

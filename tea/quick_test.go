@@ -1,0 +1,55 @@
+package tea_test
+
+import (
+	"reflect"
+	"testing"
+
+	"teasim/tea"
+)
+
+// TestQuickTierRuns exercises the statistical memory tier end-to-end: a
+// quick-model run must finish, retire its budget, and stamp its rows with
+// the fidelity marker so downstream tables can refuse to mix tiers. Values
+// stay exact — the tier replaces timing, not semantics — so co-simulation
+// holds under quick too.
+func TestQuickTierRuns(t *testing.T) {
+	for _, mode := range []tea.Mode{tea.ModeBaseline, tea.ModeTEA} {
+		res, err := tea.Run("mcf", tea.Config{
+			Mode:            mode,
+			MaxInstructions: 20_000,
+			CoSim:           true,
+			Set:             []string{"memory.model=quick"},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if res.Fidelity != "quick" {
+			t.Errorf("%s: Fidelity = %q, want \"quick\"", mode, res.Fidelity)
+		}
+		if res.Instructions == 0 || res.Cycles == 0 {
+			t.Errorf("%s: empty run: %+v", mode, res)
+		}
+	}
+}
+
+// TestQuickTierDeterministic pins reproducibility: the quick tier's hit/miss
+// draw is a pure hash of the access stream, so two identical runs are
+// bit-identical (within the tier — never across tiers).
+func TestQuickTierDeterministic(t *testing.T) {
+	cfg := tea.Config{
+		Mode:            tea.ModeTEA,
+		MaxInstructions: 20_000,
+		Set:             []string{"memory.model=quick", "memory.quick_l1_hit_pct=80"},
+	}
+	a, err := tea.Run("mcf", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tea.Run("mcf", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("quick runs diverge:\n a: %+v\n b: %+v", a, b)
+	}
+}

@@ -60,8 +60,7 @@ func (s *recordingSink) failures() []telemetry.Event {
 }
 
 func TestJobDeadline(t *testing.T) {
-	e := NewEngine(1)
-	e.SetPolicy(JobPolicy{Timeout: 30 * time.Millisecond})
+	e := NewEngine(1, WithPolicy(JobPolicy{Timeout: 30 * time.Millisecond}))
 	e.runFn = func(ctx context.Context, w string, c Config) (Result, error) {
 		<-ctx.Done() // a cell that never finishes on its own
 		return Result{}, ctx.Err()
@@ -76,8 +75,7 @@ func TestJobDeadline(t *testing.T) {
 }
 
 func TestHangWatchdogKillsStalledJob(t *testing.T) {
-	e := NewEngine(1)
-	e.SetPolicy(JobPolicy{HangTimeout: 60 * time.Millisecond})
+	e := NewEngine(1, WithPolicy(JobPolicy{HangTimeout: 60 * time.Millisecond}))
 	e.runFn = func(ctx context.Context, w string, c Config) (Result, error) {
 		if c.Heartbeat == nil {
 			t.Error("policy with HangTimeout did not install a heartbeat")
@@ -94,8 +92,7 @@ func TestHangWatchdogKillsStalledJob(t *testing.T) {
 }
 
 func TestHangWatchdogSparesAdvancingJob(t *testing.T) {
-	e := NewEngine(1)
-	e.SetPolicy(JobPolicy{HangTimeout: 80 * time.Millisecond})
+	e := NewEngine(1, WithPolicy(JobPolicy{HangTimeout: 80 * time.Millisecond}))
 	e.runFn = func(ctx context.Context, w string, c Config) (Result, error) {
 		// Slow but alive: beats arrive well inside the hang timeout for
 		// longer than the timeout itself.
@@ -119,10 +116,9 @@ func TestHangWatchdogSparesAdvancingJob(t *testing.T) {
 }
 
 func TestRetryRecoversFlakyPanic(t *testing.T) {
-	e := NewEngine(1)
 	sink := &recordingSink{}
-	e.SetTelemetry(sink)
-	e.SetPolicy(JobPolicy{Retries: 3, RetryBackoff: time.Millisecond})
+	e := NewEngine(1, WithTelemetry(sink),
+		WithPolicy(JobPolicy{Retries: 3, RetryBackoff: time.Millisecond}))
 	var attempts atomic.Int32
 	e.runFn = func(ctx context.Context, w string, c Config) (Result, error) {
 		if attempts.Add(1) < 3 {
@@ -183,8 +179,7 @@ func TestPanicErrorCarriesStackAndIdentity(t *testing.T) {
 
 func TestQuarantineWritesLoadableReproBundle(t *testing.T) {
 	dir := t.TempDir()
-	e := NewEngine(2)
-	e.SetPolicy(JobPolicy{ReproDir: dir})
+	e := NewEngine(2, WithPolicy(JobPolicy{ReproDir: dir}))
 	e.runFn = func(ctx context.Context, w string, c Config) (Result, error) {
 		if w == "bad" {
 			panic("corrupted cell")
@@ -305,12 +300,11 @@ func TestCancelJournalResume(t *testing.T) {
 	// the third cell observes the cancellation mid-simulation.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	e1 := NewEngine(1)
 	j1, err := OpenJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e1.SetJournal(j1)
+	e1 := NewEngine(1, WithJournal(j1))
 	calls := 0
 	e1.runFn = func(ctx context.Context, w string, c Config) (Result, error) {
 		calls++
@@ -346,7 +340,11 @@ func TestCancelJournalResume(t *testing.T) {
 
 	// Resumed run: seeds from the journal, re-simulates only the 2 missing
 	// cells, and lands on results identical to a clean uninterrupted run.
-	e2 := NewEngine(1)
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(1, WithJournal(j2))
 	calls2 := 0
 	e2.runFn = func(ctx context.Context, w string, c Config) (Result, error) {
 		calls2++
@@ -355,11 +353,6 @@ func TestCancelJournalResume(t *testing.T) {
 	if n := e2.SeedJournal(recs); n != 2 {
 		t.Fatalf("seeded %d cells, want 2", n)
 	}
-	j2, err := OpenJournal(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	e2.SetJournal(j2)
 	resumed, err := e2.Map(jobs)
 	if err != nil {
 		t.Fatal(err)

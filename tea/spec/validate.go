@@ -88,6 +88,24 @@ func (s *MachineSpec) Validate() error {
 		}
 	}
 
+	switch s.Memory.Model {
+	case "", "quick":
+	default:
+		bad(`memory.model %q unknown (want "" for the exact tier or "quick" for the statistical tier)`, s.Memory.Model)
+	}
+	if s.Memory.Quick() {
+		for name, v := range map[string]int{
+			"quick_l1_hit_pct":  s.Memory.QuickL1HitPct,
+			"quick_llc_hit_pct": s.Memory.QuickLLCHitPct,
+		} {
+			if v < 0 || v > 100 {
+				bad("memory.%s must be a percentage in [0,100] (0 means the default), got %d", name, v)
+			}
+		}
+	} else if s.Memory.QuickL1HitPct != 0 || s.Memory.QuickLLCHitPct != 0 || s.Memory.QuickMemLat != 0 {
+		bad(`memory: quick_* parameters require memory.model "quick"`)
+	}
+
 	p := &s.Predictor
 	if p.TageTables < 1 || p.TageTables > maxTageTables {
 		bad("predictor.tage_tables must be in [1,%d], got %d", maxTageTables, p.TageTables)

@@ -72,6 +72,18 @@ type Config struct {
 	// reference scheduler. Bit-identical either way; for debugging and the
 	// fast-path equivalence test.
 	DisableBitsetSched bool
+	// DisableSplitReady turns off the bitset scheduler's split main/companion
+	// ready lists (pipeline.Config.NoSplitReady), filtering a single shared
+	// ready set at select instead. Bit-identical either way; for debugging
+	// and the fast-path equivalence test. No effect when the bitset scheduler
+	// is itself disabled.
+	DisableSplitReady bool
+	// DisableHistRewind turns off invertible folded-history recovery
+	// (pipeline.Config.NoHistRewind), falling back to per-branch history
+	// checkpoint copies. Bit-identical either way (pinned by
+	// bpred.TestHistoryRewindEquivalence and the fast-path equivalence test);
+	// for debugging and those tests.
+	DisableHistRewind bool
 
 	// Fig. 10 ablation switches — spec patches on the companion's TEA
 	// section (error on a TEA-less machine).
@@ -142,7 +154,8 @@ func (c Config) Observational() bool {
 // fingerprint, budget, scale) — see Engine.
 func (c Config) Memoizable() bool {
 	return !c.Observational() && !c.CoSim && !c.DisableIdleSkip &&
-		!c.DisableBlockCache && !c.DisableBitsetSched && !c.Paranoia
+		!c.DisableBlockCache && !c.DisableBitsetSched &&
+		!c.DisableSplitReady && !c.DisableHistRewind && !c.Paranoia
 }
 
 // Result reports one run's performance and precomputation metrics. It
@@ -154,6 +167,11 @@ type Result struct {
 	// SpecHash is the resolved machine spec's fingerprint (hex), tying the
 	// result to the exact machine point that produced it.
 	SpecHash string `json:"spec_hash,omitempty"`
+	// Fidelity marks rows produced outside the exact tier ("quick" for the
+	// statistical memory model; empty for exact runs, so existing goldens
+	// are unchanged). Quick rows must never be mixed into paper-figure
+	// tables — see EXPERIMENTS.md.
+	Fidelity string `json:"fidelity,omitempty"`
 
 	Cycles       uint64  `json:"cycles"`
 	Instructions uint64  `json:"instructions"`
@@ -270,6 +288,8 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 	pcfg.NoIdleSkip = cfg.DisableIdleSkip
 	pcfg.NoBlockCache = cfg.DisableBlockCache
 	pcfg.NoBitsetSched = cfg.DisableBitsetSched
+	pcfg.NoSplitReady = cfg.DisableSplitReady
+	pcfg.NoHistRewind = cfg.DisableHistRewind
 	pcfg.MaxInstructions = cfg.MaxInstructions
 	pcfg.MaxCycles = 400_000_000
 	pcfg.Paranoia = cfg.Paranoia
@@ -338,6 +358,7 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 		Workload:        workload,
 		Mode:            mode,
 		SpecHash:        machine.FingerprintString(),
+		Fidelity:        machine.Memory.Model,
 		Cycles:          c.Stats.Cycles,
 		Instructions:    c.Stats.Retired,
 		IPC:             c.Stats.IPC(),

@@ -2,6 +2,7 @@
 //
 // Usage:
 //
+//	teaexp -list                    # print the experiment catalog
 //	teaexp -exp fig5                # TEA speedup per benchmark
 //	teaexp -exp fig8 -n 500000      # TEA vs Branch Runahead, 500k instrs each
 //	teaexp -exp all                 # every experiment (slow)
@@ -109,6 +110,7 @@ func realMain() int {
 		reproDir = flag.String("repro-dir", "", "write a repro bundle (spec + metadata) for every permanently failed cell")
 
 		quick = flag.Bool("quick", false, "statistical memory tier (shorthand for -set memory.model=quick; rows are fidelity-marked and must not be mixed into paper tables)")
+		list  = flag.Bool("list", false, "print the experiment registry (name, title, description) and exit")
 
 		sets stringList
 	)
@@ -118,6 +120,15 @@ func realMain() int {
 	if *resume && *journal == "" {
 		fmt.Fprintln(os.Stderr, "teaexp: -resume requires -journal")
 		return 2
+	}
+
+	if *list {
+		// The catalog in registration order, one experiment per line; the
+		// daemon serves the same registry, so this is the service catalog too.
+		for _, e := range tea.Experiments() {
+			fmt.Printf("%-18s %s\n%-18s   %s\n", e.Name, e.Title, "", e.Description)
+		}
+		return 0
 	}
 
 	outFmt := tea.FormatText

@@ -1,0 +1,102 @@
+// Package companion is the factory registry behind the companion zoo: each
+// precomputation scheme (internal/core's TEA thread, internal/runahead,
+// internal/bullseye, internal/ldbp, internal/twowin) registers a Factory for
+// its spec.CompanionKind in an init function, and the tea package builds
+// whatever the resolved spec names through New — no layer above the registry
+// special-cases a kind. Adding a companion is therefore one package: a
+// pipeline.Companion implementation, a Factory, and a spec.RegisterKind call
+// for its parameter section.
+package companion
+
+import (
+	"fmt"
+	"sort"
+
+	"teasim/internal/pipeline"
+	"teasim/tea/spec"
+)
+
+// Metrics is the uniform precomputation report every companion instance
+// exposes after a run — the fields behind Result's coverage/accuracy/
+// timeliness columns. Companions without a concept for a field leave it
+// zero (e.g. only TEA classifies Late or issues EarlyFlushes).
+type Metrics struct {
+	// Accuracy is correct precomputations / precomputations used (1 when
+	// the companion never produced one).
+	Accuracy float64
+	// Coverage is covered / all retired mispredictions the companion saw.
+	Coverage float64
+
+	// Retired-misprediction classification (the paper's Fig. 7 buckets).
+	Covered   uint64
+	Late      uint64
+	Incorrect uint64
+	Uncovered uint64
+
+	// AvgCyclesSaved is the mean misprediction penalty removed per covered
+	// misprediction (timeliness).
+	AvgCyclesSaved float64
+	// EarlyFlushes counts pipeline repairs issued ahead of main resolution.
+	EarlyFlushes uint64
+	// ExtraUops is the companion's dynamic uop footprint (fetched chain
+	// uops, engine uops, ...), reported against main-thread fetched uops.
+	ExtraUops uint64
+}
+
+// Options carries run-behavioral knobs that ride on the run config rather
+// than the machine spec.
+type Options struct {
+	// Paranoia arms the companion's internal invariant checkers.
+	Paranoia bool
+}
+
+// Instance is a constructed, attached companion. Construction (the Factory)
+// must have called pipeline.Core.Attach; the run loop drives it through the
+// pipeline.Companion hooks, and Metrics is read once after the run.
+type Instance interface {
+	Metrics() Metrics
+}
+
+// Factory builds a companion for a resolved machine spec and attaches it to
+// the core. The spec has passed Validate, so the kind's section is non-nil.
+type Factory func(s *spec.MachineSpec, c *pipeline.Core, o Options) (Instance, error)
+
+var factories = map[spec.CompanionKind]Factory{}
+
+// Register adds a companion factory for a kind. It panics on a duplicate
+// kind: two packages claiming one kind is a wiring bug.
+func Register(kind spec.CompanionKind, f Factory) {
+	if kind == "" || f == nil {
+		panic("companion: Register requires a kind and a factory")
+	}
+	if _, dup := factories[kind]; dup {
+		panic(fmt.Sprintf("companion: kind %q registered twice", kind))
+	}
+	factories[kind] = f
+}
+
+// Kinds returns the kinds with registered factories, sorted.
+func Kinds() []spec.CompanionKind {
+	kinds := make([]spec.CompanionKind, 0, len(factories))
+	for k := range factories {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// New builds and attaches the companion the spec names. Kind "none" returns
+// (nil, nil): the bare core runs without a companion. An unregistered kind
+// is an error — typically a missing blank import of the companion package.
+func New(s *spec.MachineSpec, c *pipeline.Core, o Options) (Instance, error) {
+	kind := s.Companion.Kind
+	if kind == spec.CompanionNone {
+		return nil, nil
+	}
+	f, ok := factories[kind]
+	if !ok {
+		return nil, fmt.Errorf("companion: no factory registered for kind %q (registered: %v; missing import of the companion package?)",
+			kind, Kinds())
+	}
+	return f(s, c, o)
+}

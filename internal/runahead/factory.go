@@ -1,0 +1,47 @@
+package runahead
+
+import (
+	"teasim/internal/companion"
+	"teasim/internal/pipeline"
+	"teasim/tea/spec"
+)
+
+func init() {
+	companion.Register(spec.CompanionRunahead,
+		func(s *spec.MachineSpec, c *pipeline.Core, _ companion.Options) (companion.Instance, error) {
+			return brInstance{New(ConfigFromSpec(s.Companion.Runahead), c)}, nil
+		})
+}
+
+// ConfigFromSpec converts the spec's Branch Runahead companion section.
+func ConfigFromSpec(r *spec.Runahead) Config {
+	return Config{
+		MaxChains:      r.MaxChains,
+		MaxChainUops:   r.MaxChainUops,
+		QueueDepth:     r.QueueDepth,
+		MaxInstances:   r.MaxInstances,
+		EngineWidth:    r.EngineWidth,
+		RecaptureEvery: r.RecaptureEvery,
+		DisableAfter:   r.DisableAfter,
+		HistSize:       r.HistSize,
+	}
+}
+
+// brInstance adapts Branch Runahead to the companion registry.
+type brInstance struct{ b *BR }
+
+func (i brInstance) Metrics() companion.Metrics {
+	s := &i.b.Stats
+	m := companion.Metrics{
+		Accuracy:  s.Accuracy(),
+		Coverage:  s.Coverage(),
+		Covered:   s.CoveredMisp,
+		Incorrect: s.IncorrectMisp,
+		Uncovered: s.UncoveredMisp,
+		ExtraUops: s.EngineUops,
+	}
+	if s.CoveredMisp > 0 {
+		m.AvgCyclesSaved = float64(s.CyclesSaved) / float64(s.CoveredMisp)
+	}
+	return m
+}

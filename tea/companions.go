@@ -1,0 +1,12 @@
+package tea
+
+// The companion zoo: every companion package links here so its init-time
+// factory (internal/companion.Register) and spec kind registration are
+// available to any tea caller. A new companion adds one blank import.
+import (
+	_ "teasim/internal/bullseye"
+	_ "teasim/internal/core"
+	_ "teasim/internal/ldbp"
+	_ "teasim/internal/runahead"
+	_ "teasim/internal/twowin"
+)

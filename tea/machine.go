@@ -4,10 +4,8 @@ import (
 	"fmt"
 
 	"teasim/internal/bpred"
-	"teasim/internal/core"
 	"teasim/internal/mem"
 	"teasim/internal/pipeline"
-	"teasim/internal/runahead"
 	"teasim/tea/spec"
 )
 
@@ -174,55 +172,4 @@ func pipelineConfig(s *spec.MachineSpec) pipeline.Config {
 		cfg.CompanionPRegs = t.PRPartition
 	}
 	return cfg
-}
-
-// teaConfig converts the spec's TEA companion section.
-func teaConfig(t *spec.TEA) core.Config {
-	return core.Config{
-		H2PSets:        t.H2PSets,
-		H2PWays:        t.H2PWays,
-		H2PMax:         t.H2PMax,
-		H2PThreshold:   t.H2PThreshold,
-		H2PDecayPeriod: t.H2PDecayPeriod,
-
-		FillBufSize:   t.FillBufSize,
-		WalkCycles:    t.WalkCycles,
-		SourceMemSize: t.SourceMemSize,
-
-		BlockCacheSets:  t.BlockCacheSets,
-		BlockCacheWays:  t.BlockCacheWays,
-		EmptyTagSets:    t.EmptyTagSets,
-		EmptyTagWays:    t.EmptyTagWays,
-		MaskResetPeriod: t.MaskResetPeriod,
-		SegMaxUops:      t.SegMaxUops,
-
-		FrontLatency:  t.FrontLatency,
-		MaxLeadBlocks: t.MaxLeadBlocks,
-		RSPartition:   t.RSPartition,
-		PRPartition:   t.PRPartition,
-
-		StoreCacheLines: t.StoreCacheLines,
-		StoreWaitWindow: t.StoreWaitWindow,
-		LateLimit:       t.LateLimit,
-		WrongLimit:      t.WrongLimit,
-
-		OnlyLoops:         t.OnlyLoops,
-		NoMasks:           t.NoMasks,
-		NoMem:             t.NoMem,
-		DisableEarlyFlush: t.DisableEarlyFlush,
-	}
-}
-
-// runaheadConfig converts the spec's Branch Runahead companion section.
-func runaheadConfig(r *spec.Runahead) runahead.Config {
-	return runahead.Config{
-		MaxChains:      r.MaxChains,
-		MaxChainUops:   r.MaxChainUops,
-		QueueDepth:     r.QueueDepth,
-		MaxInstances:   r.MaxInstances,
-		EngineWidth:    r.EngineWidth,
-		RecaptureEvery: r.RecaptureEvery,
-		DisableAfter:   r.DisableAfter,
-		HistSize:       r.HistSize,
-	}
 }

@@ -26,11 +26,11 @@ func TestBaselineSpecMatchesDefaultConfigs(t *testing.T) {
 	if want := pipeline.DefaultConfig(); !reflect.DeepEqual(got, want) {
 		t.Errorf("pipelineConfig(Baseline) != pipeline.DefaultConfig():\ngot:  %+v\nwant: %+v", got, want)
 	}
-	if got, want := teaConfig(spec.DefaultTEA()), core.DefaultConfig(); !reflect.DeepEqual(got, want) {
-		t.Errorf("teaConfig(DefaultTEA) != core.DefaultConfig():\ngot:  %+v\nwant: %+v", got, want)
+	if got, want := core.ConfigFromSpec(spec.DefaultTEA()), core.DefaultConfig(); !reflect.DeepEqual(got, want) {
+		t.Errorf("core.ConfigFromSpec(DefaultTEA) != core.DefaultConfig():\ngot:  %+v\nwant: %+v", got, want)
 	}
-	if got, want := runaheadConfig(spec.DefaultRunahead()), runahead.DefaultConfig(); !reflect.DeepEqual(got, want) {
-		t.Errorf("runaheadConfig(DefaultRunahead) != runahead.DefaultConfig():\ngot:  %+v\nwant: %+v", got, want)
+	if got, want := runahead.ConfigFromSpec(spec.DefaultRunahead()), runahead.DefaultConfig(); !reflect.DeepEqual(got, want) {
+		t.Errorf("runahead.ConfigFromSpec(DefaultRunahead) != runahead.DefaultConfig():\ngot:  %+v\nwant: %+v", got, want)
 	}
 }
 
@@ -80,8 +80,9 @@ func TestModePresetsMatchModeSwitches(t *testing.T) {
 }
 
 // TestModePresetRegistry asserts the mode enum and the spec preset registry
-// stay one-to-one: every mode resolves a preset of the same name, and every
-// registered preset is reachable from a mode.
+// stay consistent: every mode resolves a preset of the same name, and every
+// registered preset is reachable either from a mode or as a companion
+// kind's same-named zoo preset (the shootout's entry point).
 func TestModePresetRegistry(t *testing.T) {
 	names := map[string]bool{}
 	for _, m := range Modes() {
@@ -94,9 +95,12 @@ func TestModePresetRegistry(t *testing.T) {
 		}
 		names[m.String()] = true
 	}
+	for _, k := range spec.Kinds() {
+		names[string(k)] = true
+	}
 	for _, p := range spec.Presets() {
 		if !names[p] {
-			t.Errorf("preset %q has no corresponding Mode", p)
+			t.Errorf("preset %q reachable from neither a Mode nor a companion kind", p)
 		}
 	}
 }

@@ -72,6 +72,12 @@ func FuzzSetPatch(f *testing.F) {
 		"predictor.tage_hist_lens=4,8,13,22",
 		"companion.kind=runahead",
 		"companion.kind=none",
+		"companion.kind=bullseye",
+		"companion.kind=ldbp",
+		"companion.kind=twowin",
+		"companion.bullseye.hist_bits=12",
+		"companion.ldbp.lookahead=24",
+		"companion.twowin.window_size=4",
 		"backend.rob_size=512",
 		"nonsense",
 		"a.b.c.d.e=1",

@@ -72,28 +72,28 @@ func (s *MachineSpec) Set(patch string) error {
 	return nil
 }
 
-// setKind switches the companion scheme, installing the matching default
-// section so follow-up patches have something to refine.
+// setKind switches the companion scheme through the kind registry: the
+// outgoing kind's section is cleared, engine shape fields are reset unless
+// the new kind uses them, and the new kind's default section is installed
+// (keeping an existing section of the same kind) so follow-up patches have
+// something to refine.
 func (s *MachineSpec) setKind(value string) error {
+	info, ok := LookupKind(CompanionKind(value))
+	if !ok {
+		return fmt.Errorf("spec: companion.kind %q unknown (registered kinds: %s)", value, kindList())
+	}
 	c := &s.Companion
-	switch CompanionKind(value) {
-	case CompanionNone:
-		*c = Companion{Kind: CompanionNone}
-	case CompanionTEA:
-		c.Kind = CompanionTEA
-		c.Runahead = nil
-		if c.TEA == nil {
-			c.TEA = DefaultTEA()
+	c.Kind = info.Kind
+	for _, k := range Kinds() {
+		if other := kindRegistry[k]; other.Kind != info.Kind && other.Clear != nil {
+			other.Clear(c)
 		}
-	case CompanionRunahead:
-		c.Kind = CompanionRunahead
-		c.TEA = nil
+	}
+	if !info.Engine {
 		c.Dedicated, c.Ports, c.NoPriority = false, 0, false
-		if c.Runahead == nil {
-			c.Runahead = DefaultRunahead()
-		}
-	default:
-		return fmt.Errorf("spec: companion.kind %q unknown (want none, tea, or runahead)", value)
+	}
+	if info.Install != nil && !info.Has(c) {
+		info.Install(c)
 	}
 	return nil
 }

@@ -26,6 +26,15 @@ const (
 	CompanionTEA CompanionKind = "tea"
 	// CompanionRunahead attaches the Branch Runahead comparison engine.
 	CompanionRunahead CompanionKind = "runahead"
+	// CompanionBullseye attaches per-H2P tagged pattern tables trained at
+	// retire (the Bullseye predictor, see zoo.go).
+	CompanionBullseye CompanionKind = "bullseye"
+	// CompanionLDBP attaches load-driven branch prediction: load→branch
+	// chains captured at retire, predicted ahead off committed load values.
+	CompanionLDBP CompanionKind = "ldbp"
+	// CompanionTwoWindow attaches a lightweight in-order two-window
+	// precompute BPU that resolves in-flight branches from ready operands.
+	CompanionTwoWindow CompanionKind = "twowin"
 )
 
 // MachineSpec is one complete machine point. The zero value is not a valid
@@ -118,8 +127,9 @@ type Predictor struct {
 }
 
 // Companion describes the precomputation scheme. Exactly the section named
-// by Kind must be populated: TEA for "tea", Runahead for "runahead", neither
-// for "none" (Validate enforces this).
+// by Kind must be populated — TEA for "tea", Runahead for "runahead", and so
+// on through the kind registry (see RegisterKind); "none" carries no section.
+// Validate enforces this through the registry.
 type Companion struct {
 	Kind CompanionKind `json:"kind"`
 
@@ -132,8 +142,11 @@ type Companion struct {
 	// (ablation of §IV-E's prioritization claim).
 	NoPriority bool `json:"no_priority,omitempty"`
 
-	TEA      *TEA      `json:"tea,omitempty"`
-	Runahead *Runahead `json:"runahead,omitempty"`
+	TEA      *TEA       `json:"tea,omitempty"`
+	Runahead *Runahead  `json:"runahead,omitempty"`
+	Bullseye *Bullseye  `json:"bullseye,omitempty"`
+	LDBP     *LDBP      `json:"ldbp,omitempty"`
+	TwoWin   *TwoWindow `json:"twowin,omitempty"`
 }
 
 // TEA holds the TEA-thread structures (Table II) and the Fig. 10 ablation
@@ -207,19 +220,17 @@ type Runahead struct {
 }
 
 // Clone returns a deep copy: mutating the copy (patches, overrides) never
-// affects the original.
+// affects the original. Companion sections are deep-copied through the kind
+// registry, so new kinds inherit correct clone semantics for free.
 func (s MachineSpec) Clone() MachineSpec {
 	c := s
 	if s.Predictor.TageHistLens != nil {
 		c.Predictor.TageHistLens = append([]uint32(nil), s.Predictor.TageHistLens...)
 	}
-	if s.Companion.TEA != nil {
-		t := *s.Companion.TEA
-		c.Companion.TEA = &t
-	}
-	if s.Companion.Runahead != nil {
-		r := *s.Companion.Runahead
-		c.Companion.Runahead = &r
+	for _, info := range kindRegistry {
+		if info.CloneInto != nil {
+			info.CloneInto(&c.Companion, &s.Companion)
+		}
 	}
 	return c
 }

@@ -132,56 +132,48 @@ func (s *MachineSpec) Validate() error {
 	return errors.Join(errs...)
 }
 
-// validateCompanion enforces the kind cross-field rules: exactly the section
-// named by Kind is populated and engine shape fields match the kind.
+// validateCompanion enforces the kind cross-field rules against the kind
+// registry: exactly the section named by Kind is populated and engine shape
+// fields are only set for kinds that share the main core's engine.
 func (s *MachineSpec) validateCompanion(errs *[]error, bad func(string, ...any)) {
 	c := &s.Companion
-	switch c.Kind {
-	case CompanionNone:
-		if c.TEA != nil {
-			bad(`companion: kind "none" must not carry a tea section (set companion.kind=tea to use it)`)
+	info, ok := LookupKind(c.Kind)
+	if !ok {
+		bad("companion.kind %q unknown (registered kinds: %s)", c.Kind, kindList())
+		return
+	}
+	for _, k := range Kinds() {
+		other := kindRegistry[k]
+		if other.Kind == c.Kind || other.Has == nil || !other.Has(c) {
+			continue
 		}
-		if c.Runahead != nil {
-			bad(`companion: kind "none" must not carry a runahead section (set companion.kind=runahead to use it)`)
+		if info.Has == nil {
+			bad(`companion: kind %q must not carry a %s section (set companion.kind=%s to use it)`,
+				c.Kind, other.Kind, other.Kind)
+		} else {
+			bad(`companion: kind %q conflicts with a %s section; remove one`, c.Kind, other.Kind)
 		}
-		if c.Dedicated || c.Ports != 0 || c.NoPriority {
-			bad(`companion: kind "none" has no engine; dedicated/ports/no_priority must be unset`)
-		}
-	case CompanionTEA:
-		if c.TEA == nil {
-			bad(`companion: kind "tea" requires a tea section (see spec.DefaultTEA for Table II)`)
-		}
-		if c.Runahead != nil {
-			bad(`companion: kind "tea" conflicts with a runahead section; remove one`)
-		}
+	}
+	if info.Engine {
 		if c.Dedicated && c.Ports <= 0 {
 			bad("companion: dedicated engine requires ports > 0, got %d", c.Ports)
 		}
 		if !c.Dedicated && c.Ports != 0 {
 			bad("companion: ports (%d) only apply to a dedicated engine; set dedicated=true", c.Ports)
 		}
-		if c.TEA != nil {
-			validateTEA(c.TEA, bad)
-			if c.TEA.RSPartition > 0 && c.TEA.RSPartition >= s.Backend.RSSize {
-				bad("companion.tea.rs_partition (%d) must leave the main thread reservation stations (backend.rs_size %d)",
-					c.TEA.RSPartition, s.Backend.RSSize)
-			}
+	} else if c.Dedicated || c.Ports != 0 || c.NoPriority {
+		if info.Has == nil {
+			bad(`companion: kind %q has no engine; dedicated/ports/no_priority must be unset`, c.Kind)
+		} else {
+			bad(`companion: %s brings its own engine; dedicated/ports/no_priority must be unset`, c.Kind)
 		}
-	case CompanionRunahead:
-		if c.Runahead == nil {
-			bad(`companion: kind "runahead" requires a runahead section (see spec.DefaultRunahead)`)
+	}
+	if info.Has != nil {
+		if !info.Has(c) {
+			bad(`companion: kind %q requires a %s section (%s)`, c.Kind, c.Kind, info.Hint)
+		} else if info.Validate != nil {
+			info.Validate(s, bad)
 		}
-		if c.TEA != nil {
-			bad(`companion: kind "runahead" conflicts with a tea section; remove one`)
-		}
-		if c.Dedicated || c.Ports != 0 || c.NoPriority {
-			bad("companion: runahead brings its own engine (engine_width); dedicated/ports/no_priority must be unset")
-		}
-		if c.Runahead != nil {
-			validateRunahead(c.Runahead, bad)
-		}
-	default:
-		bad("companion.kind %q unknown (want none, tea, or runahead)", c.Kind)
 	}
 }
 

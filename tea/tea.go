@@ -26,9 +26,8 @@ import (
 	"io"
 	"math"
 
-	"teasim/internal/core"
+	"teasim/internal/companion"
 	"teasim/internal/pipeline"
-	"teasim/internal/runahead"
 	"teasim/internal/telemetry"
 	"teasim/internal/workloads"
 	"teasim/tea/spec"
@@ -323,17 +322,11 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 
 	c := pipeline.New(pcfg, prog)
 
-	var teaThread *core.TEA
-	var br *runahead.BR
-	switch machine.Companion.Kind {
-	case spec.CompanionTEA:
-		tcfg := teaConfig(machine.Companion.TEA)
-		// Paranoia is behavioral, not a machine property, so it rides on the
-		// run config rather than the spec tree.
-		tcfg.Paranoia = cfg.Paranoia
-		teaThread = core.New(tcfg, c)
-	case spec.CompanionRunahead:
-		br = runahead.New(runaheadConfig(machine.Companion.Runahead), c)
+	// Build whatever companion the spec names through the factory registry
+	// (tea/companions.go links every known companion package).
+	inst, err := companion.New(&machine, c, companion.Options{Paranoia: cfg.Paranoia})
+	if err != nil {
+		return Result{}, fmt.Errorf("tea: %s/%s: %w", workload, mode, err)
 	}
 
 	var runErr error
@@ -367,32 +360,18 @@ func RunContext(ctx context.Context, workload string, cfg Config) (Result, error
 		IndMispredicts:  c.Stats.IndMispredicts,
 		Accuracy:        1,
 	}
-	if teaThread != nil {
-		s := &teaThread.Stats
-		res.Accuracy = s.Accuracy()
-		res.Coverage = s.Coverage()
-		res.Covered = s.CoveredMisp
-		res.Late = s.LateMisp
-		res.Incorrect = s.IncorrectMisp
-		res.Uncovered = s.UncoveredMisp
-		res.AvgCyclesSaved = s.AvgCyclesSaved()
-		res.EarlyFlushes = s.EarlyFlushes
+	if inst != nil {
+		m := inst.Metrics()
+		res.Accuracy = m.Accuracy
+		res.Coverage = m.Coverage
+		res.Covered = m.Covered
+		res.Late = m.Late
+		res.Incorrect = m.Incorrect
+		res.Uncovered = m.Uncovered
+		res.AvgCyclesSaved = m.AvgCyclesSaved
+		res.EarlyFlushes = m.EarlyFlushes
 		if c.Stats.FetchedUops > 0 {
-			res.UopOverheadPct = 100 * float64(s.UopsFetched) / float64(c.Stats.FetchedUops)
-		}
-	}
-	if br != nil {
-		s := &br.Stats
-		res.Accuracy = s.Accuracy()
-		res.Coverage = s.Coverage()
-		res.Covered = s.CoveredMisp
-		res.Incorrect = s.IncorrectMisp
-		res.Uncovered = s.UncoveredMisp
-		if s.CoveredMisp > 0 {
-			res.AvgCyclesSaved = float64(s.CyclesSaved) / float64(s.CoveredMisp)
-		}
-		if c.Stats.FetchedUops > 0 {
-			res.UopOverheadPct = 100 * float64(s.EngineUops) / float64(c.Stats.FetchedUops)
+			res.UopOverheadPct = 100 * float64(m.ExtraUops) / float64(c.Stats.FetchedUops)
 		}
 	}
 	if ring != nil {

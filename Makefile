@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test tier1 tier2 lint race bench bench-smoke bench-compare bench-experiments paranoia fuzz-smoke daemon-smoke profile-cpu profile-mem clean
+.PHONY: all build test tier1 tier2 lint race bench bench-smoke bench-compare bench-experiments paranoia fuzz-smoke daemon-smoke chaos profile-cpu profile-mem clean
 
 all: tier1
 
@@ -81,6 +81,14 @@ fuzz-smoke:
 # (see scripts/daemon_smoke.sh; CI runs this as its own job).
 daemon-smoke:
 	sh scripts/daemon_smoke.sh
+
+# Chaos smoke: run a small matrix on a real multi-process worker fabric with
+# faultinject armed (worker SIGKILL mid-shard, torn journal write, full pool
+# collapse) and assert the merged report stays byte-identical to a clean
+# single-process run (see scripts/chaos_smoke.sh; CI runs this in the
+# robustness job).
+chaos:
+	sh scripts/chaos_smoke.sh
 
 # Profiling workflow (see README "Profiling and parallelism"): run an
 # experiment under the profiler, then inspect with `go tool pprof`.

@@ -7,6 +7,7 @@
 //	teaexp -exp fig8 -n 500000      # TEA vs Branch Runahead, 500k instrs each
 //	teaexp -exp all                 # every experiment (slow)
 //	teaexp -exp fig10 -workers 4    # bound the experiment worker pool
+//	teaexp -exp fig8 -fabric 3      # shard cells across 3 teaworker processes
 //	teaexp -exp fig5 -json          # machine-readable output (also: -format csv)
 //	teaexp -exp fig5 -json -intervals         # per-interval time series per cell
 //	teaexp -exp fig5 -trace-out /tmp/t -w bfs # JSONL event trace per cell
@@ -66,6 +67,7 @@ import (
 	"time"
 
 	"teasim/tea"
+	"teasim/tea/fabric"
 	"teasim/tea/spec"
 )
 
@@ -108,6 +110,9 @@ func realMain() int {
 		hangTO   = flag.Duration("hang-timeout", 0, "kill a cell whose simulation makes no progress for this long (0 = none)")
 		retries  = flag.Int("retries", 0, "re-attempts for a panicking cell before it fails for good")
 		reproDir = flag.String("repro-dir", "", "write a repro bundle (spec + metadata) for every permanently failed cell")
+
+		fabricN   = flag.Int("fabric", 0, "dispatch cells to this many teaworker processes (0 = in-process); crashed or hung workers are absorbed (see DESIGN.md §16)")
+		fabricCmd = flag.String("fabric-worker", "", "worker command for -fabric (default: teaworker beside this binary, else from PATH)")
 
 		quick = flag.Bool("quick", false, "statistical memory tier (shorthand for -set memory.model=quick; rows are fidelity-marked and must not be mixed into paper tables)")
 		list  = flag.Bool("list", false, "print the experiment registry (name, title, description) and exit")
@@ -221,6 +226,35 @@ func realMain() int {
 					status, ev.Wall.Round(time.Millisecond))
 			}
 		}))
+	}
+	// -fabric scales the cell matrix across worker processes: the
+	// coordinator plugs in below the engine's memoization/journal layer as
+	// its RunFunc, so resume journals, policy, and -partial quarantine all
+	// compose with remote execution unchanged.
+	if *fabricN > 0 {
+		fcfg := fabric.Config{
+			Workers:          *fabricN,
+			HeartbeatTimeout: *hangTO, // 0 selects the fabric default (30s)
+			Log:              os.Stderr,
+		}
+		if *fabricCmd != "" {
+			fcfg.WorkerCmd = strings.Fields(*fabricCmd)
+		}
+		coord, err := fabric.New(fcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			st := coord.Stats()
+			coord.Close()
+			fmt.Fprintf(os.Stderr, "[fabric: %d workers (%d live), %d cells in %d shards; %d crashes, %d hangs, %d requeued, %d recovered, %d quarantined, %d fallback]\n",
+				st.Workers, st.Live, st.Dispatched, st.Shards, st.Crashes, st.Hangs, st.Requeues, st.Recovered, st.Quarantined, st.Fallbacks)
+			if st.Collapsed {
+				fmt.Fprintln(os.Stderr, "[fabric: worker pool collapsed; remaining cells ran in-process]")
+			}
+		}()
+		engOpts = append(engOpts, tea.WithRunFunc(coord.RunFunc(nil)))
 	}
 	eng := tea.NewEngine(*workers, engOpts...)
 	if len(resumed) > 0 {

@@ -41,13 +41,29 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"teasim/internal/telemetry"
 	"teasim/tea"
+	"teasim/tea/fabric"
 	"teasim/tea/serve"
 	"teasim/tea/store"
 )
+
+// corruptLogSink surfaces the store's corrupt-record telemetry in the daemon
+// log: a durable store dropping records is an operator-visible event, not a
+// silent counter.
+type corruptLogSink struct{ lg *log.Logger }
+
+func (s corruptLogSink) Event(e *telemetry.Event) {
+	if e.Kind == telemetry.EvCorruptRecord {
+		s.lg.Printf("store: dropped %d corrupt record(s) opening %s", e.Count, e.Job)
+	}
+}
+func (s corruptLogSink) Interval(*telemetry.Interval) {}
+func (s corruptLogSink) Close() error                 { return nil }
 
 func main() { os.Exit(realMain()) }
 
@@ -67,6 +83,8 @@ func realMain() int {
 		hangTO  = flag.Duration("hang-timeout", 0, "kill a cell whose simulation makes no progress for this long (0 = none)")
 		retries = flag.Int("retries", 0, "re-attempts for a panicking cell before it fails for good")
 		drainTO = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight requests on shutdown")
+		fabricN = flag.Int("fabric", 0, "scale out simulations to this many worker processes (0 = in-process)")
+		fabricW = flag.String("fabric-worker", "", "worker command for -fabric (default: teaworker beside this binary)")
 	)
 	flag.Parse()
 	lg := log.New(os.Stderr, "teasrvd: ", log.LstdFlags)
@@ -74,13 +92,37 @@ func realMain() int {
 	var st *store.Store
 	if *dir != "" {
 		var err error
-		st, err = store.Open(*dir, store.Options{Shards: *shards, TTL: *ttl})
+		st, err = store.Open(*dir, store.Options{Shards: *shards, TTL: *ttl, Telemetry: corruptLogSink{lg}})
 		if err != nil {
 			lg.Print(err)
 			return 1
 		}
 		defer st.Close()
 		lg.Printf("store %s: %d results", *dir, st.Len())
+	}
+
+	var runFn tea.RunFunc
+	if *fabricN > 0 {
+		fcfg := fabric.Config{Workers: *fabricN, HeartbeatTimeout: *hangTO, Log: os.Stderr}
+		if *fabricW != "" {
+			fcfg.WorkerCmd = strings.Fields(*fabricW)
+		}
+		coord, err := fabric.New(fcfg)
+		if err != nil {
+			lg.Print(err)
+			return 1
+		}
+		defer func() {
+			fs := coord.Stats()
+			coord.Close()
+			lg.Printf("fabric: %d workers (%d live), %d cells in %d shards; %d crashes, %d hangs, %d requeued, %d recovered, %d quarantined, %d fallback",
+				fs.Workers, fs.Live, fs.Dispatched, fs.Shards, fs.Crashes, fs.Hangs, fs.Requeues, fs.Recovered, fs.Quarantined, fs.Fallbacks)
+			if fs.Collapsed {
+				lg.Print("fabric: worker pool collapsed; cells ran in-process")
+			}
+		}()
+		runFn = coord.RunFunc(nil)
+		lg.Printf("fabric: %d worker processes", *fabricN)
 	}
 
 	srv := serve.New(serve.Config{
@@ -97,7 +139,8 @@ func realMain() int {
 			Retries:      *retries,
 			RetryBackoff: 100 * time.Millisecond,
 		},
-		Log: lg,
+		RunFunc: runFn,
+		Log:     lg,
 	})
 	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
 
@@ -117,6 +160,9 @@ func realMain() int {
 	}
 	stop()
 	lg.Print("draining (in-flight requests finish; signal again to abort)")
+	// Empty the admission queue first: queued requests get an immediate 503
+	// instead of hanging until Shutdown's grace period expires under them.
+	srv.Drain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,77 @@
+package faultinject
+
+import "testing"
+
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   ", ","} {
+		in, err := Parse(spec, 0)
+		if err != nil || in != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, in, err)
+		}
+	}
+}
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if in.Fire("crash-before-result") || in.Armed("stall") {
+		t.Error("nil injector fired")
+	}
+	in.Crash("crash-before-result") // must not kill the test process
+	in.Stall("stall")               // must not wedge the test
+}
+
+func TestFireOnNthHitExactlyOnce(t *testing.T) {
+	in, err := Parse("torn-journal:3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if in.Fire("torn-journal") {
+			t.Fatalf("fired on hit %d, want hit 3", i)
+		}
+	}
+	if !in.Armed("torn-journal") {
+		t.Fatal("point disarmed before firing")
+	}
+	if !in.Fire("torn-journal") {
+		t.Fatal("did not fire on hit 3")
+	}
+	if in.Fire("torn-journal") || in.Armed("torn-journal") {
+		t.Error("point fired twice")
+	}
+}
+
+func TestWorkerSelector(t *testing.T) {
+	in, err := Parse("crash-before-result@1:2,stall@2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Armed("stall") {
+		t.Error("worker 1 armed a fault addressed to worker 2")
+	}
+	if !in.Armed("crash-before-result") {
+		t.Error("worker 1 did not arm its own fault")
+	}
+	// A spec whose every fault is addressed elsewhere arms nothing.
+	if in2, err := Parse("stall@7", 1); err != nil || in2 != nil {
+		t.Errorf("foreign-only spec: got %v, %v; want nil, nil", in2, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{"stall:0", "stall:x", "stall@y", ":2"} {
+		if _, err := Parse(spec, 0); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestUnknownPointNeverFires(t *testing.T) {
+	in, err := Parse("stall", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Fire("crash-on-shard") {
+		t.Error("unarmed point fired")
+	}
+}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Chaos smoke test (CI: robustness job; locally: make chaos).
+#
+# Runs a small Fig 8 matrix on a real multi-process worker fabric with the
+# faultinject harness armed, and checks the fabric's core promise: whatever
+# the chaos, the merged report is byte-identical to a clean single-process
+# run.
+#
+#   1. Clean reference: plain in-process teaexp run.
+#   2. Chaos run on 3 workers: worker 1 is SIGKILLed right after journaling
+#      its first cell (crash-before-result), worker 2 tears a journal line
+#      mid-write and dies (torn-journal). The coordinator must recover the
+#      journaled cell without re-simulation, drop the torn record, requeue
+#      the lost cell, and still emit the reference bytes.
+#   3. Pool collapse: one worker that dies on every shard (crash-on-shard).
+#      The coordinator must degrade to in-process execution and still emit
+#      the reference bytes.
+set -eux
+
+EXP=fig8
+W=bfs,mcf
+N=200000
+
+go build -o teaexp.bin ./cmd/teaexp
+go build -o teaworker.bin ./cmd/teaworker
+
+# 1. Clean single-process reference.
+./teaexp.bin -exp "$EXP" -w "$W" -n "$N" -format csv > clean.csv 2> clean.err
+
+# 2. Chaos run: two distinct worker faults, byte-identical output required.
+TEASIM_FAULTS='crash-before-result@1:1,torn-journal@2:1' \
+    ./teaexp.bin -exp "$EXP" -w "$W" -n "$N" -format csv \
+    -fabric 3 -fabric-worker ./teaworker.bin > chaos.csv 2> chaos.err
+cat chaos.err
+diff clean.csv chaos.csv
+# The fabric summary must show the faults actually fired and were absorbed.
+grep -E '[1-9][0-9]* crashes' chaos.err
+grep -E '[1-9][0-9]* (requeued|recovered)' chaos.err
+
+# 3. Pool collapse: the only worker dies on every shard; the run must fall
+#    back in-process and still match the reference.
+TEASIM_FAULTS='crash-on-shard' \
+    ./teaexp.bin -exp "$EXP" -w "$W" -n "$N" -format csv \
+    -fabric 1 -fabric-worker ./teaworker.bin > collapse.csv 2> collapse.err
+cat collapse.err
+diff clean.csv collapse.csv
+grep 'pool collapsed' collapse.err
+
+rm -f teaexp.bin teaworker.bin clean.csv chaos.csv collapse.csv \
+    clean.err chaos.err collapse.err
+echo "chaos smoke: OK"

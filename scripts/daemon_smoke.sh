@@ -2,12 +2,15 @@
 # Daemon smoke test (CI: daemon-smoke job; locally: make daemon-smoke).
 #
 # Boots teasrvd with a fresh store, POSTs a tiny Fig 8 matrix, and checks
-# the service's three core promises end to end:
+# the service's core promises end to end:
 #   1. the served CSV is byte-identical to the direct library run (teaexp
 #      dispatches through the same tea.RunExperiment registry call),
 #   2. a re-POST is served entirely from the content-addressed store
 #      (zero new simulations, per the X-Tea-Simulated header),
-#   3. SIGTERM drains cleanly (exit 0, store compacted).
+#   3. SIGTERM drains cleanly (exit 0, store compacted),
+#   4. SIGTERM under load: a request queued for a run slot gets an
+#      immediate 503 instead of a hung connection, while the request
+#      already running finishes with 200.
 set -eux
 
 ADDR=127.0.0.1:18080
@@ -45,6 +48,32 @@ wait "$pid"
 trap - EXIT
 grep 'drained cleanly' teasrvd.err
 
+# 4. SIGTERM under load: restart with a single run slot, occupy it with a
+#    slow uncached request, queue a second one behind it, then drain. The
+#    queued request must be answered 503 promptly; the running one 200.
+./teasrvd.bin -listen "$ADDR" -store smoke-store -max-concurrent 1 2> teasrvd2.err &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+for i in $(seq 1 100); do
+    curl -sf "http://$ADDR/healthz" > /dev/null && break
+    sleep 0.2
+done
+SLOW='{"experiment":"fig8","workloads":["xz"],"max_instructions":5000000,"format":"csv"}'
+curl -s -o /dev/null -w '%{http_code}' --data-binary "$SLOW" "http://$ADDR/v1/run" > slow.code &
+slowpid=$!
+sleep 1 # the slow request takes the only run slot
+curl -s -o /dev/null -w '%{http_code}' --data-binary "$BODY" "http://$ADDR/v1/run" > queued.code &
+queuedpid=$!
+sleep 0.5 # the second request is now queued for the slot
+kill -TERM "$pid"
+wait "$queuedpid"
+grep -q '^503$' queued.code
+wait "$slowpid"
+grep -q '^200$' slow.code
+wait "$pid"
+trap - EXIT
+grep 'drained cleanly' teasrvd2.err
+
 rm -rf smoke-store teasrvd.bin teaexp.bin served.csv served2.csv direct.csv \
-    run1.hdr run2.hdr teasrvd.err direct.err
+    run1.hdr run2.hdr teasrvd.err teasrvd2.err direct.err slow.code queued.code
 echo "daemon smoke: OK"

@@ -345,7 +345,10 @@ func firstLine(s string) string {
 }
 
 // emitFailure forwards one failed attempt to the telemetry sink, if any.
-func (e *Engine) emitFailure(j Job, err error) {
+// attempt is 1-based; backoff is the cumulative retry backoff the cell has
+// accrued before this attempt, so traces distinguish retried cells (attempt
+// > 1, nonzero backoff) from first failures.
+func (e *Engine) emitFailure(j Job, err error, attempt int, backoff time.Duration) {
 	e.mu.Lock()
 	s := e.sink
 	e.mu.Unlock()
@@ -353,16 +356,19 @@ func (e *Engine) emitFailure(j Job, err error) {
 		return
 	}
 	ev := telemetry.Event{
-		Kind: telemetry.EvJobFailure,
-		Job:  fmt.Sprintf("%s/%s@%s", j.Workload, j.Cfg.Mode, specHashOf(j.Cfg)),
-		Err:  firstLine(err.Error()),
+		Kind:      telemetry.EvJobFailure,
+		Job:       fmt.Sprintf("%s/%s@%s", j.Workload, j.Cfg.Mode, specHashOf(j.Cfg)),
+		Err:       firstLine(err.Error()),
+		Attempt:   attempt,
+		BackoffMS: backoff.Milliseconds(),
 	}
 	s.Event(&ev)
 }
 
 // runAttempt executes one attempt of a job under the policy's deadline and
-// hang watchdog, capturing panics with their stack.
-func (e *Engine) runAttempt(ctx context.Context, j Job, p JobPolicy) (res Result, err error) {
+// hang watchdog, capturing panics with their stack. attempt and backoff
+// annotate the attempt's telemetry (see emitFailure).
+func (e *Engine) runAttempt(ctx context.Context, j Job, p JobPolicy, attempt int, backoff time.Duration) (res Result, err error) {
 	jobCtx := ctx
 	if p.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -387,7 +393,7 @@ func (e *Engine) runAttempt(ctx context.Context, j Job, p JobPolicy) (res Result
 				Workload: j.Workload, Mode: j.Cfg.Mode,
 				SpecHash: specHashOf(j.Cfg), Val: r, Stack: stack,
 			}
-			e.emitFailure(j, err)
+			e.emitFailure(j, err, attempt, backoff)
 		}
 	}()
 	res, err = e.runFn(jobCtx, j.Workload, j.Cfg)
@@ -396,7 +402,7 @@ func (e *Engine) runAttempt(ctx context.Context, j Job, p JobPolicy) (res Result
 		// cancellation): name the policy failure rather than the bare
 		// context error.
 		err = fmt.Errorf("job %s/%s: %w", j.Workload, j.Cfg.Mode, context.Cause(jobCtx))
-		e.emitFailure(j, err)
+		e.emitFailure(j, err, attempt, backoff)
 	}
 	return res, err
 }
@@ -455,8 +461,9 @@ func (e *Engine) runResilient(ctx context.Context, j Job) (Result, error) {
 	e.mu.Unlock()
 	var err error
 	var res Result
+	var cumBackoff time.Duration
 	for attempt := 0; ; attempt++ {
-		res, err = e.runAttempt(ctx, j, p)
+		res, err = e.runAttempt(ctx, j, p, attempt+1, cumBackoff)
 		if err == nil {
 			return res, nil
 		}
@@ -469,6 +476,7 @@ func (e *Engine) runResilient(ctx context.Context, j Job) (Result, error) {
 		}
 		if p.RetryBackoff > 0 {
 			backoff := p.RetryBackoff << uint(attempt)
+			cumBackoff += backoff
 			select {
 			case <-ctx.Done():
 				return Result{}, err

@@ -147,6 +147,16 @@ func TestRetryRecoversFlakyPanic(t *testing.T) {
 	if !strings.Contains(fails[0].Err, "transient corruption") {
 		t.Errorf("failure event err = %q, want the panic value", fails[0].Err)
 	}
+	// Retried cells are distinguishable from first failures: the attempt
+	// number and cumulative backoff ride on the event.
+	if fails[0].Attempt != 1 || fails[0].BackoffMS != 0 {
+		t.Errorf("first failure carries attempt=%d backoff=%dms, want 1/0",
+			fails[0].Attempt, fails[0].BackoffMS)
+	}
+	if fails[1].Attempt != 2 || fails[1].BackoffMS < 1 {
+		t.Errorf("second failure carries attempt=%d backoff=%dms, want 2 with accrued backoff",
+			fails[1].Attempt, fails[1].BackoffMS)
+	}
 }
 
 func TestPanicErrorCarriesStackAndIdentity(t *testing.T) {

@@ -21,6 +21,15 @@ func (busyError) Error() string {
 	return "serve: job queue full"
 }
 
+// drainError rejects a request because the server is shutting down. It maps
+// to 503: the queued caller gets a clean answer it can retry against another
+// replica, instead of a connection that hangs until the listener dies.
+type drainError struct{}
+
+func (drainError) Error() string {
+	return "serve: server is draining"
+}
+
 // admission is the server's admission controller: a bounded run semaphore
 // with a bounded wait queue on top, plus per-client in-flight quotas.
 // Requests beyond the queue bound — or beyond a client's quota — are
@@ -31,9 +40,11 @@ type admission struct {
 	slots    chan struct{} // capacity = max concurrently running requests
 	queueMax int           // max requests waiting for a slot
 	quota    int           // max in-flight (running + queued) per client, 0 = unlimited
+	drainC   chan struct{} // closed by drain(): queued waiters bail with drainError
 
 	mu       sync.Mutex
 	waiting  int
+	draining bool
 	inflight map[string]int
 }
 
@@ -44,7 +55,21 @@ func newAdmission(maxRunning, queueMax, quota int) *admission {
 		slots:    make(chan struct{}, maxRunning),
 		queueMax: queueMax,
 		quota:    quota,
+		drainC:   make(chan struct{}),
 		inflight: make(map[string]int),
+	}
+}
+
+// drain flips the controller into shutdown mode: every queued waiter is
+// released with a drainError and new arrivals are rejected the same way.
+// Requests already holding a run slot are untouched — they finish normally
+// under the http.Server.Shutdown grace period. Idempotent.
+func (a *admission) drain() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.draining {
+		a.draining = true
+		close(a.drainC)
 	}
 }
 
@@ -54,6 +79,10 @@ func newAdmission(maxRunning, queueMax, quota int) *admission {
 // gave up while queued.
 func (a *admission) acquire(ctx context.Context, client string) (func(), error) {
 	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return nil, drainError{}
+	}
 	if a.quota > 0 && a.inflight[client] >= a.quota {
 		a.mu.Unlock()
 		return nil, quotaError{client}
@@ -85,6 +114,12 @@ func (a *admission) acquire(ctx context.Context, client string) (func(), error) 
 			a.mu.Lock()
 			a.waiting--
 			a.mu.Unlock()
+		case <-a.drainC:
+			a.mu.Lock()
+			a.waiting--
+			a.mu.Unlock()
+			releaseClient()
+			return nil, drainError{}
 		case <-ctx.Done():
 			a.mu.Lock()
 			a.waiting--

@@ -122,6 +122,7 @@ type Server struct {
 	requests      telemetry.SyncCounter
 	rejectedQuota telemetry.SyncCounter
 	rejectedBusy  telemetry.SyncCounter
+	rejectedDrain telemetry.SyncCounter
 	failed        telemetry.SyncCounter
 	simulated     telemetry.SyncCounter
 	storeHits     telemetry.SyncCounter
@@ -157,6 +158,15 @@ func New(cfg Config) *Server {
 	}
 }
 
+// Drain flips the server into shutdown mode: requests queued for a run slot
+// are answered immediately with 503 (they would otherwise hang until the
+// listener died under them), new runs are rejected the same way, and requests
+// already running finish normally. Call it before http.Server.Shutdown so the
+// queue empties instead of riding out the grace period. Idempotent.
+func (s *Server) Drain() {
+	s.adm.drain()
+}
+
 // Handler returns the server's route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -178,6 +188,7 @@ type Statz struct {
 	Requests      uint64 `json:"requests"`
 	RejectedQuota uint64 `json:"rejected_quota"`
 	RejectedBusy  uint64 `json:"rejected_busy"`
+	RejectedDrain uint64 `json:"rejected_drain"`
 	Failed        uint64 `json:"failed"`
 	Simulations   uint64 `json:"simulations"`
 	StoreHits     uint64 `json:"store_hits"`
@@ -197,6 +208,7 @@ func (s *Server) Stats() Statz {
 		Requests:      s.requests.Value(),
 		RejectedQuota: s.rejectedQuota.Value(),
 		RejectedBusy:  s.rejectedBusy.Value(),
+		RejectedDrain: s.rejectedDrain.Value(),
 		Failed:        s.failed.Value(),
 		Simulations:   s.simulated.Value(),
 		StoreHits:     s.storeHits.Value(),
@@ -442,6 +454,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var qe quotaError
 		var be busyError
+		var de drainError
 		switch {
 		case errors.As(err, &qe):
 			s.rejectedQuota.Inc()
@@ -451,6 +464,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.rejectedBusy.Inc()
 			w.Header().Set("Retry-After", "2")
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
+		case errors.As(err, &de):
+			// The server is going away: answer 503 and close the
+			// connection so the client retries elsewhere.
+			s.rejectedDrain.Inc()
+			w.Header().Set("Connection", "close")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		default: // client gave up while queued
 		}
 		return

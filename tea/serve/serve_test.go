@@ -312,6 +312,64 @@ func TestQueueFull429(t *testing.T) {
 	wg.Wait()
 }
 
+// TestDrainAnswersQueued503 pins the shutdown contract: Drain answers every
+// request queued for a run slot with an immediate 503 (instead of leaving it
+// hanging until the listener dies), rejects new arrivals the same way, and
+// lets the request already running finish with 200.
+func TestDrainAnswersQueued503(t *testing.T) {
+	started := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	srv, ts := newTestServer(t, Config{
+		RunFunc:       blockingRun(started, gate),
+		MaxConcurrent: 1,
+		QueueDepth:    4,
+	})
+
+	req := Request{Experiment: "fig5", Workloads: []string{"bfs"}, MaxInstructions: 1000}
+	runnerDone := make(chan struct{})
+	go func() {
+		defer close(runnerDone)
+		resp := postRun(t, ts.URL, req, map[string]string{"X-Tea-Client": "runner"})
+		if resp.StatusCode != 200 {
+			t.Errorf("running request: status %d, want 200", resp.StatusCode)
+		}
+		readBody(t, resp)
+	}()
+	<-started // runner holds the only run slot
+
+	queuedDone := make(chan *http.Response, 1)
+	go func() {
+		queuedDone <- postRun(t, ts.URL, req, map[string]string{"X-Tea-Client": "queued"})
+	}()
+	waitFor(t, "one queued request", func() bool { _, q := srv.adm.depth(); return q == 1 })
+
+	srv.Drain()
+	select {
+	case resp := <-queuedDone:
+		body := readBody(t, resp)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("queued request: status %d, want 503 (body %q)", resp.StatusCode, body)
+		}
+		if !strings.Contains(body, "draining") {
+			t.Errorf("503 body %q does not mention draining", body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request hung after Drain; want immediate 503")
+	}
+
+	resp := postRun(t, ts.URL, req, map[string]string{"X-Tea-Client": "late"})
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain request: status %d, want 503", resp.StatusCode)
+	}
+	if got := srv.Stats().RejectedDrain; got != 2 {
+		t.Errorf("RejectedDrain = %d, want 2", got)
+	}
+
+	close(gate) // the in-flight request still completes normally
+	<-runnerDone
+}
+
 // TestSSEGolden pins the stream framing: with one worker and the
 // deterministic stub, the event sequence and its bytes are stable, and the
 // embedded report equals a direct library render of the same experiment.

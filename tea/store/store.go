@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"teasim/internal/telemetry"
 	"teasim/tea"
 )
 
@@ -67,16 +68,23 @@ type Options struct {
 	TTL time.Duration
 	// Now overrides the clock (tests); nil = time.Now.
 	Now func() time.Time
+	// Telemetry, when set, receives one EvCorruptRecord event per shard
+	// file that had corrupt or torn-tail lines dropped while opening (nil =
+	// no events). Silent data loss is the one failure a durable store must
+	// not have; the event makes every dropped record observable.
+	Telemetry telemetry.Sink
 }
 
 // Stats is a snapshot of the store's counters.
 type Stats struct {
-	Entries int    // live (non-expired at last touch) indexed entries
-	Hits    uint64 // Gets served from the index
-	Misses  uint64 // Gets with no usable entry
-	Expired uint64 // Gets that found only an expired entry
-	Puts    uint64 // records appended this process
-	Dropped int    // corrupt/stale lines dropped while opening
+	Entries    int    // live (non-expired at last touch) indexed entries
+	Hits       uint64 // Gets served from the index
+	Misses     uint64 // Gets with no usable entry
+	Expired    uint64 // Gets that found only an expired entry
+	Puts       uint64 // records appended this process
+	Dropped    int    // lines dropped while opening (Corrupt + Superseded)
+	Corrupt    int    // torn or checksum-failing lines dropped while opening
+	Superseded int    // intact lines shadowed by a newer write of their key
 }
 
 // envelope is the on-disk line framing: the write timestamp (for TTL) around
@@ -106,14 +114,16 @@ type Store struct {
 	dir    string
 	ttl    time.Duration
 	now    func() time.Time
+	tel    telemetry.Sink
 	shards []*shard
 
-	mu      sync.Mutex // counters
-	hits    uint64
-	misses  uint64
-	expired uint64
-	puts    uint64
-	dropped int
+	mu         sync.Mutex // counters
+	hits       uint64
+	misses     uint64
+	expired    uint64
+	puts       uint64
+	corrupt    int
+	superseded int
 }
 
 // Open opens (creating if needed) the store rooted at dir, reading every
@@ -130,7 +140,7 @@ func Open(dir string, o Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
-	s := &Store{dir: dir, ttl: o.TTL, now: o.Now, shards: make([]*shard, o.Shards)}
+	s := &Store{dir: dir, ttl: o.TTL, now: o.Now, tel: o.Telemetry, shards: make([]*shard, o.Shards)}
 	for i := range s.shards {
 		s.shards[i] = &shard{index: make(map[Key]entry)}
 	}
@@ -178,7 +188,7 @@ func (s *Store) load(path string) error {
 		return fmt.Errorf("store: load: %w", err)
 	}
 	defer f.Close()
-	dropped := 0
+	corrupt, superseded := 0, 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	for sc.Scan() {
@@ -188,13 +198,13 @@ func (s *Store) load(path string) error {
 		}
 		var env envelope
 		if json.Unmarshal(line, &env) != nil || !env.Rec.Verify() {
-			dropped++
+			corrupt++
 			continue
 		}
 		key := KeyOf(env.Rec)
 		sh := s.shardOf(key)
 		if have, ok := sh.index[key]; ok && have.at > env.At {
-			dropped++ // superseded by a newer record already indexed
+			superseded++ // shadowed by a newer record already indexed
 			continue
 		}
 		sh.index[key] = entry{rec: env.Rec, at: env.At}
@@ -203,8 +213,12 @@ func (s *Store) load(path string) error {
 		return fmt.Errorf("store: load %s: %w", path, err)
 	}
 	s.mu.Lock()
-	s.dropped += dropped
+	s.corrupt += corrupt
+	s.superseded += superseded
 	s.mu.Unlock()
+	if corrupt > 0 && s.tel != nil {
+		s.tel.Event(&telemetry.Event{Kind: telemetry.EvCorruptRecord, Job: path, Count: corrupt})
+	}
 	return nil
 }
 
@@ -299,12 +313,14 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Entries: entries,
-		Hits:    s.hits,
-		Misses:  s.misses,
-		Expired: s.expired,
-		Puts:    s.puts,
-		Dropped: s.dropped,
+		Entries:    entries,
+		Hits:       s.hits,
+		Misses:     s.misses,
+		Expired:    s.expired,
+		Puts:       s.puts,
+		Dropped:    s.corrupt + s.superseded,
+		Corrupt:    s.corrupt,
+		Superseded: s.superseded,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"teasim/internal/telemetry"
 	"teasim/tea"
 )
 
@@ -98,7 +99,8 @@ func TestStoreDropsCorruptRecords(t *testing.T) {
 	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Open(dir, Options{Shards: 1})
+	sink := telemetry.NewRing(8)
+	s2, err := Open(dir, Options{Shards: 1, Telemetry: sink})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +110,16 @@ func TestStoreDropsCorruptRecords(t *testing.T) {
 	}
 	if s2.Stats().Dropped != 1 {
 		t.Fatalf("dropped = %d, want 1", s2.Stats().Dropped)
+	}
+	if st := s2.Stats(); st.Corrupt != 1 || st.Superseded != 0 {
+		t.Fatalf("corrupt/superseded = %d/%d, want 1/0", st.Corrupt, st.Superseded)
+	}
+	evs := sink.Events()
+	if len(evs) != 1 {
+		t.Fatalf("telemetry events = %d, want 1", len(evs))
+	}
+	if ev := evs[0]; ev.Kind != telemetry.EvCorruptRecord || ev.Count != 1 || ev.Job != path {
+		t.Fatalf("unexpected corrupt-record event %+v", ev)
 	}
 }
 
